@@ -1,0 +1,77 @@
+//! Criterion: halo-exchange staging costs — the pack-free surface-major
+//! brick ordering vs the fragmented lexicographic ordering vs conventional
+//! array pack/unpack (the PPoPP'21 optimization the paper relies on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmg_brick::{BrickLayout, BrickOrdering, BrickedField};
+use gmg_mesh::ghost::DIRECTIONS_26;
+use gmg_mesh::{Array3, Box3, Point3};
+use std::sync::Arc;
+
+fn init(p: Point3) -> f64 {
+    (p.x + p.y + p.z) as f64
+}
+
+fn bench_exchange_staging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange_staging");
+    g.sample_size(20);
+    let n = 64i64;
+    let v = Box3::cube(n);
+
+    for ord in [BrickOrdering::SurfaceMajor, BrickOrdering::Lexicographic] {
+        let layout = Arc::new(BrickLayout::new(v, 8, 1, ord));
+        let field = BrickedField::from_fn(layout.clone(), init);
+        // Pre-compute send sets (done once per level in the solver too).
+        let sends: Vec<Vec<u32>> = DIRECTIONS_26
+            .iter()
+            .map(|&d| layout.send_slots(d))
+            .collect();
+        let name = match ord {
+            BrickOrdering::SurfaceMajor => "brick_surface_major_gather",
+            BrickOrdering::Lexicographic => "brick_lexicographic_gather",
+        };
+        g.bench_function(BenchmarkId::new(name, n), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                for slots in &sends {
+                    field.gather_bricks(slots, &mut buf);
+                    criterion::black_box(&buf);
+                }
+            });
+        });
+    }
+
+    // Conventional pack: serialize each of the 26 depth-8 face regions.
+    let a = Array3::from_fn(v, 8, init);
+    g.bench_function(BenchmarkId::new("array_pack_depth8", n), |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            for &d in &DIRECTIONS_26 {
+                a.pack(v.face_region(d, 8), &mut buf);
+                criterion::black_box(&buf);
+            }
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_self_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("periodic_self_exchange");
+    g.sample_size(20);
+    let n = 64i64;
+    let v = Box3::cube(n);
+    let layout = Arc::new(BrickLayout::new(v, 8, 1, BrickOrdering::SurfaceMajor));
+    let mut f = BrickedField::from_fn(layout, init);
+    g.bench_function("bricked_26dir", |b| {
+        b.iter(|| {
+            for &d in &DIRECTIONS_26 {
+                f.copy_ghost_from_self(d, d * (n / 8));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_exchange_staging, bench_self_exchange);
+criterion_main!(benches);

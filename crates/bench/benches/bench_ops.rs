@@ -1,0 +1,74 @@
+//! Criterion: the remaining V-cycle operators — fused vs split
+//! smooth+residual (the fusion ablation) and the inter-grid transfers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gmg_brick::{BrickOrdering, BrickedField};
+use gmg_core::level::{interpolation_increment, restriction, Level};
+use gmg_core::PoissonProblem;
+use gmg_mesh::{Box3, Decomposition};
+
+const N: i64 = 64;
+
+fn mk_level(index: usize) -> Level {
+    let problem = PoissonProblem::new(N >> index << index); // finest n stays N
+    let decomp = Decomposition::single(Box3::cube(N >> index));
+    let mut l = Level::new(
+        &problem,
+        decomp,
+        0,
+        index,
+        8.min(N >> index),
+        BrickOrdering::SurfaceMajor,
+    );
+    l.x = BrickedField::from_fn(l.layout.clone(), |p| (p.x - p.y + 2 * p.z) as f64 * 1e-3);
+    l.b = BrickedField::from_fn(l.layout.clone(), |p| (p.x * p.y - p.z) as f64 * 1e-3);
+    l.ax = BrickedField::from_fn(l.layout.clone(), |p| (p.x + p.z) as f64 * 1e-3);
+    l
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smooth_residual_fusion");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements((N * N * N) as u64));
+    let mut l = mk_level(0);
+    let owned = l.owned;
+    g.bench_function("fused", |b| {
+        b.iter(|| l.smooth_residual(owned));
+    });
+    g.bench_function("split", |b| {
+        b.iter(|| {
+            l.residual(owned);
+            l.smooth(owned);
+        });
+    });
+    g.finish();
+}
+
+fn bench_intergrid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intergrid");
+    g.sample_size(20);
+    let problem = PoissonProblem::new(N);
+    let fine_decomp = Decomposition::single(Box3::cube(N));
+    let mut fine = Level::new(&problem, fine_decomp.clone(), 0, 0, 8, BrickOrdering::SurfaceMajor);
+    fine.r = BrickedField::from_fn(fine.layout.clone(), |p| (p.x ^ p.y ^ p.z) as f64);
+    let mut coarse = Level::new(
+        &problem,
+        fine_decomp.coarsen(2),
+        0,
+        1,
+        8,
+        BrickOrdering::SurfaceMajor,
+    );
+    coarse.x = BrickedField::from_fn(coarse.layout.clone(), |p| (p.x + p.y) as f64);
+    g.throughput(Throughput::Elements((N * N * N) as u64));
+    g.bench_function("restriction", |b| {
+        b.iter(|| restriction(&fine, &mut coarse));
+    });
+    g.bench_function("interpolation_increment", |b| {
+        b.iter(|| interpolation_increment(&coarse, &mut fine));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fusion, bench_intergrid);
+criterion_main!(benches);

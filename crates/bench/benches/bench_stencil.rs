@@ -1,0 +1,58 @@
+//! Criterion: 7-point stencil application, bricked vs conventional layout.
+//!
+//! This is the *measured* (CPU) counterpart of the paper's central claim:
+//! fine-grain data blocking reduces data movement for stencil sweeps. The
+//! same effect the paper demonstrates on GPU HBM appears on the CPU cache
+//! hierarchy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmg_brick::{BrickLayout, BrickOrdering, BrickedField};
+use gmg_mesh::{Array3, Box3, Point3};
+use gmg_stencil::exec_array::{apply_star7_array, apply_star7_tiled_array};
+use gmg_stencil::exec_brick::apply_star7_bricked;
+use std::sync::Arc;
+
+fn init(p: Point3) -> f64 {
+    (p.x * 31 + p.y * 17 + p.z * 7) as f64 * 1e-3
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apply_star7");
+    g.sample_size(20);
+    for &n in &[64i64, 128] {
+        let v = Box3::cube(n);
+        let cells = v.volume() as u64;
+        g.throughput(Throughput::Elements(cells));
+
+        // Conventional array layout (ghost 8 to match the bricked shell).
+        let src_a = Array3::from_fn(v, 8, init);
+        let mut dst_a = Array3::new(v, 8);
+        g.bench_with_input(BenchmarkId::new("array", n), &n, |b, _| {
+            b.iter(|| apply_star7_array(&mut dst_a, &src_a, -6.0, 1.0, v));
+        });
+
+        // Cache-blocked loops over the conventional layout (the "tiled
+        // implementations" the paper compares bricks against).
+        g.bench_with_input(BenchmarkId::new("array_tiled8", n), &n, |b, _| {
+            b.iter(|| apply_star7_tiled_array(&mut dst_a, &src_a, -6.0, 1.0, v, 8));
+        });
+
+        // Bricked layouts.
+        for bd in [4i64, 8] {
+            let layout = Arc::new(BrickLayout::new(v, bd, 1, BrickOrdering::SurfaceMajor));
+            let src_b = BrickedField::from_fn(layout.clone(), init);
+            let mut dst_b = BrickedField::new(layout);
+            g.bench_with_input(
+                BenchmarkId::new(format!("brick{bd}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| apply_star7_bricked(&mut dst_b, &src_b, -6.0, 1.0, v));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion: one full V-cycle, bricked GMG vs the HPGMG-style baseline
+//! (the measured CPU counterpart of the paper's Figure 4), plus the
+//! communication-avoiding ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmg_comm::runtime::RankWorld;
+use gmg_core::{GmgSolver, SolverConfig};
+use gmg_hpgmg::HpgmgSolver;
+use gmg_mesh::{Box3, Decomposition, Point3};
+
+const N: i64 = 64;
+const LEVELS: usize = 3;
+const SMOOTHS: usize = 8;
+const BOTTOM: usize = 24;
+
+fn bench_vcycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vcycle_64cubed");
+    g.sample_size(10);
+
+    g.bench_function("bricks_ca", |b| {
+        b.iter(|| {
+            let decomp = Decomposition::new(Box3::cube(N), Point3::splat(1));
+            RankWorld::run(1, |mut ctx| {
+                let mut cfg = SolverConfig::test_default();
+                cfg.num_levels = LEVELS;
+                cfg.max_smooths = SMOOTHS;
+                cfg.bottom_smooths = BOTTOM;
+                cfg.brick_dim = 8;
+                let mut s = GmgSolver::new(decomp.clone(), 0, cfg);
+                s.vcycle(&mut ctx);
+            });
+        });
+    });
+
+    g.bench_function("bricks_no_ca", |b| {
+        b.iter(|| {
+            let decomp = Decomposition::new(Box3::cube(N), Point3::splat(1));
+            RankWorld::run(1, |mut ctx| {
+                let mut cfg = SolverConfig::test_default();
+                cfg.num_levels = LEVELS;
+                cfg.max_smooths = SMOOTHS;
+                cfg.bottom_smooths = BOTTOM;
+                cfg.brick_dim = 8;
+                cfg.communication_avoiding = false;
+                let mut s = GmgSolver::new(decomp.clone(), 0, cfg);
+                s.vcycle(&mut ctx);
+            });
+        });
+    });
+
+    g.bench_function("hpgmg_baseline", |b| {
+        b.iter(|| {
+            let decomp = Decomposition::new(Box3::cube(N), Point3::splat(1));
+            RankWorld::run(1, |mut ctx| {
+                let mut s =
+                    HpgmgSolver::new(decomp.clone(), 0, LEVELS, SMOOTHS, BOTTOM, 0.0, 1);
+                s.solve(&mut ctx);
+            });
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_vcycle);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Run the design-choice ablation studies. `cargo run --release -p gmg-bench --bin ablations`.
+fn main() {
+    let v = gmg_bench::ablations::run();
+    gmg_bench::report::save("ablations", &v);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's figure3. Run: `cargo run --release -p gmg-bench --bin figure3`.
+fn main() {
+    let v = gmg_bench::figure3::run();
+    gmg_bench::report::save("figure3", &v);
+}

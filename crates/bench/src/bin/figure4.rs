@@ -1,0 +1,5 @@
+//! Regenerate the paper's figure4. Run: `cargo run --release -p gmg-bench --bin figure4`.
+fn main() {
+    let v = gmg_bench::figure4::run();
+    gmg_bench::report::save("figure4", &v);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's figure5. Run: `cargo run --release -p gmg-bench --bin figure5`.
+fn main() {
+    let v = gmg_bench::figure5::run();
+    gmg_bench::report::save("figure5", &v);
+}

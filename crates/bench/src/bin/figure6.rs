@@ -1,0 +1,5 @@
+//! Regenerate the paper's figure6. Run: `cargo run --release -p gmg-bench --bin figure6`.
+fn main() {
+    let v = gmg_bench::figure6::run();
+    gmg_bench::report::save("figure6", &v);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's figure7. Run: `cargo run --release -p gmg-bench --bin figure7`.
+fn main() {
+    let v = gmg_bench::figure7::run();
+    gmg_bench::report::save("figure7", &v);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's figure8. Run: `cargo run --release -p gmg-bench --bin figure8`.
+fn main() {
+    let v = gmg_bench::figure8::run();
+    gmg_bench::report::save("figure8", &v);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's figure9. Run: `cargo run --release -p gmg-bench --bin figure9`.
+fn main() {
+    let v = gmg_bench::figure9::run();
+    gmg_bench::report::save("figure9", &v);
+}

@@ -1,0 +1,6 @@
+//! Measure the real 7-point kernels on this host and fit the paper's
+//! latency-throughput model. `cargo run --release -p gmg-bench --bin measured`.
+fn main() {
+    let v = gmg_bench::measured::run();
+    gmg_bench::report::save("measured", &v);
+}

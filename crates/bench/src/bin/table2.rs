@@ -1,0 +1,5 @@
+//! Regenerate the paper's table2. Run: `cargo run --release -p gmg-bench --bin table2`.
+fn main() {
+    let v = gmg_bench::table2::run();
+    gmg_bench::report::save("table2", &v);
+}

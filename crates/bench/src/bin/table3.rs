@@ -1,0 +1,5 @@
+//! Regenerate the paper's table3. Run: `cargo run --release -p gmg-bench --bin table3`.
+fn main() {
+    let v = gmg_bench::table3::run();
+    gmg_bench::report::save("table3", &v);
+}

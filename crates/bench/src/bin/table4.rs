@@ -1,0 +1,5 @@
+//! Regenerate the paper's table4. Run: `cargo run --release -p gmg-bench --bin table4`.
+fn main() {
+    let v = gmg_bench::table4::run();
+    gmg_bench::report::save("table4", &v);
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's table5. Run: `cargo run --release -p gmg-bench --bin table5`.
+fn main() {
+    let v = gmg_bench::table5::run();
+    gmg_bench::report::save("table5", &v);
+}

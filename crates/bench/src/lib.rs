@@ -1,0 +1,42 @@
+//! # gmg-bench — harnesses regenerating every table and figure
+//!
+//! One module (and one `cargo run -p gmg-bench --bin <name>` binary) per
+//! experiment in the paper's evaluation:
+//!
+//! | paper element | module / binary |
+//! |---|---|
+//! | Figure 3 — time per level             | [`figure3`] |
+//! | Figure 4 — vs HPGMG                   | [`figure4`] |
+//! | Figure 5 — kernel GStencil/s + model  | [`figure5`] |
+//! | Figure 6 — exchange GB/s + model      | [`figure6`] |
+//! | Figure 7 — potential speedup scatter  | [`figure7`] |
+//! | Figure 8 — weak scaling               | [`figure8`] |
+//! | Figure 9 — strong scaling             | [`figure9`] |
+//! | Table II — finest-level op fractions  | [`table2`] |
+//! | Table III — Φ (roofline basis)        | [`table3`] |
+//! | Table IV — theoretical AI             | [`table4`] |
+//! | Table V — Φ (theoretical-AI basis)    | [`table5`] |
+//!
+//! Plus [`ablations`] — the Section V design-choice studies (CA on/off,
+//! GPU-aware MPI, rendezvous thresholds, brick size, ordering, CPU
+//! offload), run via `--bin ablations`.
+//!
+//! Each `run()` prints the same rows/series the paper reports and returns a
+//! JSON value; binaries also persist it under `results/`. Criterion
+//! micro-benchmarks of the *real* CPU kernels live in `benches/`.
+
+pub mod ablations;
+pub mod measured;
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod figure6;
+pub mod figure7;
+pub mod figure8;
+pub mod figure9;
+pub mod plot;
+pub mod report;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

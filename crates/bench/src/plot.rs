@@ -1,0 +1,150 @@
+//! Minimal ASCII plotting for the figure harnesses: log-log scatter/line
+//! charts and horizontal bar charts rendered to stdout, so the regenerated
+//! figures are *visible*, not just tabulated.
+
+/// A named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+    /// Glyph used for this series' markers.
+    pub glyph: char,
+}
+
+impl Series {
+    /// Build a series from points.
+    pub fn new(name: impl Into<String>, glyph: char, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+            glyph,
+        }
+    }
+}
+
+fn log_span(vals: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in vals {
+        if v > 0.0 && v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    assert!(lo.is_finite() && hi.is_finite(), "no positive data to plot");
+    if lo == hi {
+        hi = lo * 10.0;
+    }
+    (lo.log10(), hi.log10())
+}
+
+/// Render a log-log chart of the series into a `width × height` character
+/// grid (plus axes). Returns the rendered string.
+pub fn loglog(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 4);
+    let (x0, x1) = log_span(series.iter().flat_map(|s| s.points.iter().map(|p| p.0)));
+    let (y0, y1) = log_span(series.iter().flat_map(|s| s.points.iter().map(|p| p.1)));
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            if x <= 0.0 || y <= 0.0 {
+                continue;
+            }
+            let cx = ((x.log10() - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((y.log10() - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = s.glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:>9.2e} ┤", 10f64.powf(y1)));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("          │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9.2e} ┤", 10f64.powf(y0)));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str("          └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "           {:<.2e}{}{:>.2e}\n",
+        10f64.powf(x0),
+        " ".repeat(width.saturating_sub(18)),
+        10f64.powf(x1)
+    ));
+    for s in series {
+        out.push_str(&format!("           {} {}\n", s.glyph, s.name));
+    }
+    out
+}
+
+/// Render a horizontal bar chart of `(label, value)` pairs, scaled to
+/// `width` characters at the maximum value.
+pub fn bars(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max).max(1e-300);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, v) in rows {
+        let n = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {label:<label_w$} ┤{} {v:.3}\n",
+            "█".repeat(n.max(if *v > 0.0 { 1 } else { 0 }))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loglog_places_extremes_on_axes() {
+        let s = Series::new("t", '*', vec![(1.0, 1.0), (1000.0, 1e6)]);
+        let out = loglog("test", &[s], 40, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        // Title, 10 grid rows, axis, x labels, legend.
+        assert_eq!(lines[0], "test");
+        // Min point lands bottom-left, max top-right.
+        assert!(lines[1].ends_with('*') || lines[1].trim_end().ends_with('*'));
+        assert!(lines[10].contains('*'));
+        assert!(out.contains("* t"));
+    }
+
+    #[test]
+    fn loglog_multiple_series_distinct_glyphs() {
+        let a = Series::new("a", 'o', vec![(1.0, 10.0), (10.0, 100.0)]);
+        let b = Series::new("b", 'x', vec![(1.0, 20.0), (10.0, 50.0)]);
+        let out = loglog("two", &[a, b], 30, 8);
+        assert!(out.contains('o') && out.contains('x'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn loglog_rejects_empty() {
+        loglog("empty", &[Series::new("e", '*', vec![])], 30, 8);
+    }
+
+    #[test]
+    fn bars_scale_to_width() {
+        let rows = vec![("alpha".to_string(), 2.0), ("beta".to_string(), 1.0)];
+        let out = bars("bars", &rows, 20);
+        let alpha_len = out.lines().nth(1).unwrap().matches('█').count();
+        let beta_len = out.lines().nth(2).unwrap().matches('█').count();
+        assert_eq!(alpha_len, 20);
+        assert_eq!(beta_len, 10);
+    }
+
+    #[test]
+    fn bars_zero_value_has_no_block() {
+        let rows = vec![("z".to_string(), 0.0), ("one".to_string(), 1.0)];
+        let out = bars("b", &rows, 10);
+        assert!(!out.lines().nth(1).unwrap().contains('█'));
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared output helpers for the experiment harnesses.
+
+use serde_json::Value;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory for machine-readable experiment outputs (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("GMG_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Persist a harness result as pretty JSON under `results/<name>.json`.
+pub fn save(name: &str, value: &Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    println!("\n[saved {path:?}]");
+}
+
+/// Print a section header.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format seconds in engineering units.
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.50 µs");
+    }
+
+    #[test]
+    fn save_and_readback() {
+        std::env::set_var("GMG_RESULTS_DIR", std::env::temp_dir().join("gmg_results_test"));
+        let v = serde_json::json!({"a": 1});
+        save("unit_test_artifact", &v);
+        let p = results_dir().join("unit_test_artifact.json");
+        let back: Value = serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
+        assert_eq!(back, v);
+        std::env::remove_var("GMG_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,490 @@
+//! Bricked field storage: the data companion to [`BrickLayout`].
+
+use crate::layout::{BrickLayout, NO_BRICK};
+#[cfg(test)]
+use crate::layout::BrickOrdering;
+use crate::neighborhood::BrickNeighborhood;
+use gmg_mesh::{Array3, Box3, Point3};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// A scalar field stored in fine-grain data-blocked (bricked) layout.
+///
+/// Storage is one contiguous `Vec<f64>` of `num_slots × brick_volume`
+/// elements; slot `s` owns the sub-slice
+/// `[s·brick_volume, (s+1)·brick_volume)`. All fields of a multigrid level
+/// share one [`BrickLayout`] via `Arc`.
+#[derive(Clone, Debug)]
+pub struct BrickedField {
+    layout: Arc<BrickLayout>,
+    data: Vec<f64>,
+}
+
+impl BrickedField {
+    /// Allocate a zero-filled field over `layout`.
+    pub fn new(layout: Arc<BrickLayout>) -> Self {
+        let n = layout.storage_cells();
+        Self {
+            layout,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Allocate and initialize every storage cell (owned and ghost) from a
+    /// function of the global cell index.
+    pub fn from_fn(layout: Arc<BrickLayout>, f: impl Fn(Point3) -> f64 + Sync) -> Self {
+        let mut field = Self::new(layout.clone());
+        let bvol = layout.brick_volume();
+        let b = layout.brick_dim();
+        field
+            .data
+            .par_chunks_exact_mut(bvol)
+            .enumerate()
+            .for_each(|(slot, brick)| {
+                let cells = layout.cells_of_slot(slot as u32);
+                let mut i = 0;
+                for z in cells.lo.z..cells.hi.z {
+                    for y in cells.lo.y..cells.hi.y {
+                        for x in cells.lo.x..cells.hi.x {
+                            brick[i] = f(Point3::new(x, y, z));
+                            i += 1;
+                        }
+                    }
+                }
+                debug_assert_eq!(i, (b * b * b) as usize);
+            });
+        field
+    }
+
+    /// The shared layout.
+    #[inline]
+    pub fn layout(&self) -> &Arc<BrickLayout> {
+        &self.layout
+    }
+
+    /// Raw storage (slot-major, x fastest within each brick).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The cells of one brick.
+    #[inline]
+    pub fn brick(&self, slot: u32) -> &[f64] {
+        let bvol = self.layout.brick_volume();
+        &self.data[slot as usize * bvol..(slot as usize + 1) * bvol]
+    }
+
+    /// Mutable cells of one brick.
+    #[inline]
+    pub fn brick_mut(&mut self, slot: u32) -> &mut [f64] {
+        let bvol = self.layout.brick_volume();
+        &mut self.data[slot as usize * bvol..(slot as usize + 1) * bvol]
+    }
+
+    /// Value at global cell `p` (owned or ghost). Panics outside storage.
+    #[inline]
+    pub fn get(&self, p: Point3) -> f64 {
+        let (slot, off) = self
+            .layout
+            .locate(p)
+            .unwrap_or_else(|| panic!("{p:?} outside bricked storage"));
+        self.data[slot as usize * self.layout.brick_volume() + off]
+    }
+
+    /// Set the value at global cell `p`. Panics outside storage.
+    #[inline]
+    pub fn set(&mut self, p: Point3, v: f64) {
+        let (slot, off) = self
+            .layout
+            .locate(p)
+            .unwrap_or_else(|| panic!("{p:?} outside bricked storage"));
+        let bvol = self.layout.brick_volume();
+        self.data[slot as usize * bvol + off] = v;
+    }
+
+    /// Fill all storage with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Fill `region ∩ storage` with `v`.
+    pub fn fill_region(&mut self, region: Box3, v: f64) {
+        let bvol = self.layout.brick_volume();
+        let pieces = self.layout.slots_intersecting(region);
+        for (slot, sub) in pieces {
+            let base = slot as usize * bvol;
+            let cells = self.layout.cells_of_slot(slot);
+            let bd = self.layout.brick_dim();
+            for z in sub.lo.z..sub.hi.z {
+                for y in sub.lo.y..sub.hi.y {
+                    let row = base
+                        + (((z - cells.lo.z) * bd + (y - cells.lo.y)) * bd + (sub.lo.x - cells.lo.x))
+                            as usize;
+                    let w = (sub.hi.x - sub.lo.x) as usize;
+                    self.data[row..row + w].fill(v);
+                }
+            }
+        }
+    }
+
+    /// Read-only neighborhood view centered on `slot`, for stencil reads
+    /// that may cross brick boundaries.
+    #[inline]
+    pub fn neighborhood(&self, slot: u32) -> BrickNeighborhood<'_> {
+        BrickNeighborhood::new(self, slot)
+    }
+
+    /// Convert the owned region to a conventional [`Array3`] with the same
+    /// ghost depth in cells.
+    pub fn to_array3(&self) -> Array3<f64> {
+        let g = self.layout.ghost_cells();
+        let mut a = Array3::new(self.layout.cell_box(), g);
+        let sb = self.layout.storage_cell_box();
+        sb.for_each(|p| a[p] = self.get(p));
+        a
+    }
+
+    /// Build a bricked field from a conventional array. The array's valid
+    /// box must equal the layout's cell box; ghost cells are copied where
+    /// both representations cover them.
+    pub fn from_array3(layout: Arc<BrickLayout>, a: &Array3<f64>) -> Self {
+        assert_eq!(a.valid(), layout.cell_box(), "valid regions differ");
+        let common = layout
+            .storage_cell_box()
+            .intersect(&a.storage_box());
+        let mut f = Self::new(layout);
+        common.for_each(|p| f.set(p, a[p]));
+        f
+    }
+
+    /// Parallel visit of bricks selected by `pieces` (as produced by
+    /// [`BrickLayout::slots_intersecting`]): for each piece, `kernel(slot,
+    /// sub_box, brick_out)` may write the brick's cells. Bricks are visited
+    /// at most once per call, and each invocation gets exclusive access to
+    /// its brick.
+    ///
+    /// Panics if `pieces` contains duplicate slots.
+    pub fn par_update_bricks(
+        &mut self,
+        pieces: &[(u32, Box3)],
+        kernel: impl Fn(u32, Box3, &mut [f64]) + Sync,
+    ) {
+        let bvol = self.layout.brick_volume();
+        // Build slot -> piece index map to hand disjoint chunks to rayon.
+        let mut by_slot: Vec<Option<Box3>> = vec![None; self.layout.num_slots()];
+        for (slot, sub) in pieces {
+            assert!(
+                by_slot[*slot as usize].replace(*sub).is_none(),
+                "duplicate slot {slot} in pieces"
+            );
+        }
+        self.data
+            .par_chunks_exact_mut(bvol)
+            .enumerate()
+            .for_each(|(slot, brick)| {
+                if let Some(sub) = by_slot[slot] {
+                    kernel(slot as u32, sub, brick);
+                }
+            });
+    }
+
+    /// Parallel reduction over `region ∩ owned` cells.
+    pub fn par_reduce<R: Send + Sync + Copy>(
+        &self,
+        region: Box3,
+        identity: R,
+        f: impl Fn(Point3, f64) -> R + Sync,
+        combine: impl Fn(R, R) -> R + Sync + Send,
+    ) -> R {
+        let bvol = self.layout.brick_volume();
+        let bd = self.layout.brick_dim();
+        let pieces = self.layout.slots_intersecting(region);
+        pieces
+            .par_iter()
+            .map(|(slot, sub)| {
+                let base = *slot as usize * bvol;
+                let cells = self.layout.cells_of_slot(*slot);
+                let mut acc = identity;
+                for z in sub.lo.z..sub.hi.z {
+                    for y in sub.lo.y..sub.hi.y {
+                        let row = base
+                            + (((z - cells.lo.z) * bd + (y - cells.lo.y)) * bd
+                                + (sub.lo.x - cells.lo.x)) as usize;
+                        for (dx, &v) in self.data[row..row + (sub.hi.x - sub.lo.x) as usize]
+                            .iter()
+                            .enumerate()
+                        {
+                            acc = combine(acc, f(Point3::new(sub.lo.x + dx as i64, y, z), v));
+                        }
+                    }
+                }
+                acc
+            })
+            .reduce(|| identity, &combine)
+    }
+
+    /// Copy ghost bricks from this rank's own owned bricks with a periodic
+    /// wrap shift (single-rank self-exchange): for each ghost brick `g` in
+    /// direction `dir`, copy from owned brick `g − shift_bricks`.
+    ///
+    /// `shift_bricks` is the wrap shift in *brick* units (cell wrap shift
+    /// divided by brick dim).
+    pub fn copy_ghost_from_self(&mut self, dir: Point3, shift_bricks: Point3) {
+        let bvol = self.layout.brick_volume();
+        let ghosts = self.layout.ghost_slots(dir);
+        for g in ghosts {
+            let gb = self.layout.brick_of_slot(g);
+            let src = self.layout.slot_of_brick(gb - shift_bricks);
+            assert_ne!(src, NO_BRICK, "wrap source brick missing for {gb:?}");
+            let (a, b) = (src as usize * bvol, g as usize * bvol);
+            // Self-copy between disjoint bricks.
+            assert_ne!(src, g, "ghost brick cannot be its own source");
+            let (lo, hi, rev) = if a < b { (a, b, false) } else { (b, a, true) };
+            let (head, tail) = self.data.split_at_mut(hi);
+            let src_slice: &[f64];
+            let dst_slice: &mut [f64];
+            if rev {
+                // src is in tail, dst is in head.
+                dst_slice = &mut head[lo..lo + bvol];
+                src_slice = &tail[..bvol];
+            } else {
+                src_slice = &head[lo..lo + bvol];
+                dst_slice = &mut tail[..bvol];
+            }
+            dst_slice.copy_from_slice(src_slice);
+        }
+    }
+
+    /// Copy ghost bricks in direction `dir` from a neighbor field `src`
+    /// (possibly the same rank's field for periodic wrap; use
+    /// [`BrickedField::copy_ghost_from_self`] in that case). `wrap_shift`
+    /// is the cell-coordinate shift from the decomposition's
+    /// `Neighbor::wrap_shift`.
+    pub fn copy_ghost_from(&mut self, dir: Point3, src: &BrickedField, wrap_shift: Point3) {
+        let bvol = self.layout.brick_volume();
+        let bd = self.layout.brick_dim();
+        debug_assert_eq!(bd, src.layout.brick_dim());
+        let shift_bricks = wrap_shift.div_floor(Point3::splat(bd));
+        for g in self.layout.ghost_slots(dir) {
+            let gb = self.layout.brick_of_slot(g);
+            let sslot = src.layout.slot_of_brick(gb - shift_bricks);
+            assert_ne!(sslot, NO_BRICK, "source brick missing for ghost {gb:?}");
+            let sbase = sslot as usize * bvol;
+            let dbase = g as usize * bvol;
+            let (src_slice, _) = src.data[sbase..].split_at(bvol);
+            self.data[dbase..dbase + bvol].copy_from_slice(src_slice);
+        }
+    }
+
+    /// Gather the bricks of `slots` into a flat message buffer (only needed
+    /// for fragmented orderings; with [`BrickOrdering::SurfaceMajor`] sends
+    /// are nearly pack-free and this is a handful of `memcpy`s).
+    pub fn gather_bricks(&self, slots: &[u32], buf: &mut Vec<f64>) {
+        let bvol = self.layout.brick_volume();
+        buf.clear();
+        buf.reserve(slots.len() * bvol);
+        for run in BrickLayout::contiguous_runs(slots) {
+            let a = run.start as usize * bvol;
+            let b = run.end as usize * bvol;
+            buf.extend_from_slice(&self.data[a..b]);
+        }
+    }
+
+    /// Scatter a flat message buffer into the bricks of `slots` (inverse of
+    /// [`BrickedField::gather_bricks`]; run-ordered).
+    pub fn scatter_bricks(&mut self, slots: &[u32], buf: &[f64]) {
+        let bvol = self.layout.brick_volume();
+        assert_eq!(buf.len(), slots.len() * bvol, "buffer size mismatch");
+        let mut cursor = 0;
+        for run in BrickLayout::contiguous_runs(slots) {
+            let a = run.start as usize * bvol;
+            let n = (run.end - run.start) as usize * bvol;
+            self.data[a..a + n].copy_from_slice(&buf[cursor..cursor + n]);
+            cursor += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmg_mesh::ghost::DIRECTIONS_26;
+
+    fn mk(n: i64, b: i64, g: i64, ord: BrickOrdering) -> Arc<BrickLayout> {
+        Arc::new(BrickLayout::new(Box3::cube(n), b, g, ord))
+    }
+
+    fn idx_fn(p: Point3) -> f64 {
+        (p.x + 1000 * p.y + 1_000_000 * p.z) as f64
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let l = mk(16, 4, 1, BrickOrdering::SurfaceMajor);
+        let mut f = BrickedField::new(l);
+        f.set(Point3::new(3, 7, 11), 42.0);
+        assert_eq!(f.get(Point3::new(3, 7, 11)), 42.0);
+        f.set(Point3::new(-1, -4, 19), 7.0); // ghost cells settable
+        assert_eq!(f.get(Point3::new(-1, -4, 19)), 7.0);
+    }
+
+    #[test]
+    fn from_fn_matches_get() {
+        let l = mk(8, 4, 1, BrickOrdering::SurfaceMajor);
+        let f = BrickedField::from_fn(l.clone(), idx_fn);
+        l.storage_cell_box().for_each(|p| {
+            assert_eq!(f.get(p), idx_fn(p), "at {p:?}");
+        });
+    }
+
+    #[test]
+    fn array3_roundtrip() {
+        let l = mk(16, 8, 1, BrickOrdering::SurfaceMajor);
+        let f = BrickedField::from_fn(l.clone(), idx_fn);
+        let a = f.to_array3();
+        assert_eq!(a.valid(), Box3::cube(16));
+        assert_eq!(a.ghost(), 8);
+        let f2 = BrickedField::from_array3(l.clone(), &a);
+        l.storage_cell_box()
+            .for_each(|p| assert_eq!(f.get(p), f2.get(p)));
+    }
+
+    #[test]
+    fn fill_region_exact() {
+        let l = mk(16, 4, 1, BrickOrdering::Lexicographic);
+        let mut f = BrickedField::new(l.clone());
+        let region = Box3::new(Point3::new(1, 2, 3), Point3::new(9, 10, 11));
+        f.fill_region(region, 5.0);
+        l.storage_cell_box().for_each(|p| {
+            let expect = if region.contains(p) { 5.0 } else { 0.0 };
+            assert_eq!(f.get(p), expect, "at {p:?}");
+        });
+    }
+
+    #[test]
+    fn par_update_visits_each_piece_once() {
+        let l = mk(16, 4, 1, BrickOrdering::SurfaceMajor);
+        let mut f = BrickedField::new(l.clone());
+        let region = Box3::cube(16);
+        let pieces = l.slots_intersecting(region);
+        let bd = l.brick_dim();
+        f.par_update_bricks(&pieces, |slot, sub, out| {
+            let cells = l.cells_of_slot(slot);
+            sub.for_each(|p| {
+                let r = p - cells.lo;
+                out[((r.z * bd + r.y) * bd + r.x) as usize] += 1.0;
+            });
+        });
+        let total = f.par_reduce(region, 0.0, |_, v| v, |a, b| a + b);
+        assert_eq!(total, region.volume() as f64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn par_update_duplicate_slots_panics() {
+        let l = mk(8, 4, 0, BrickOrdering::Lexicographic);
+        let mut f = BrickedField::new(l);
+        let pieces = vec![(0u32, Box3::cube(1)), (0u32, Box3::cube(2))];
+        f.par_update_bricks(&pieces, |_, _, _| {});
+    }
+
+    #[test]
+    fn par_reduce_max_abs() {
+        let l = mk(16, 4, 1, BrickOrdering::SurfaceMajor);
+        let mut f = BrickedField::from_fn(l, |_| 1.0);
+        f.set(Point3::new(5, 5, 5), -9.0);
+        let m = f.par_reduce(Box3::cube(16), 0.0, |_, v| v.abs(), f64::max);
+        assert_eq!(m, 9.0);
+        // Ghost values don't contribute to owned-region reductions.
+        f.set(Point3::new(-1, 0, 0), 100.0);
+        let m2 = f.par_reduce(Box3::cube(16), 0.0, |_, v| v.abs(), f64::max);
+        assert_eq!(m2, 9.0);
+    }
+
+    #[test]
+    fn self_exchange_periodic_wrap() {
+        // Single subdomain, periodic: ghost bricks mirror the opposite face.
+        let n = 16;
+        let bd = 4;
+        let l = mk(n, bd, 1, BrickOrdering::SurfaceMajor);
+        let mut f = BrickedField::from_fn(l.clone(), |p| {
+            if Box3::cube(n).contains(p) {
+                idx_fn(p)
+            } else {
+                f64::NAN // ghost starts invalid
+            }
+        });
+        for dir in DIRECTIONS_26 {
+            let shift_bricks = dir * (n / bd);
+            f.copy_ghost_from_self(dir, shift_bricks);
+        }
+        // Every ghost cell now equals the periodic image of an owned cell.
+        let dom = Point3::splat(n);
+        l.storage_cell_box().for_each(|p| {
+            let wrapped = p.rem_euclid(dom);
+            assert_eq!(f.get(p), idx_fn(wrapped), "ghost at {p:?}");
+        });
+    }
+
+    #[test]
+    fn two_field_ghost_copy() {
+        // Two fields over adjacent subdomains share global coordinates.
+        let left = Arc::new(BrickLayout::new(
+            Box3::new(Point3::zero(), Point3::new(8, 8, 8)),
+            4,
+            1,
+            BrickOrdering::SurfaceMajor,
+        ));
+        let right = Arc::new(BrickLayout::new(
+            Box3::new(Point3::new(8, 0, 0), Point3::new(16, 8, 8)),
+            4,
+            1,
+            BrickOrdering::SurfaceMajor,
+        ));
+        let lf = BrickedField::from_fn(left.clone(), idx_fn);
+        let mut rf = BrickedField::new(right.clone());
+        // Right rank fills its -x ghosts from the left field, no wrap.
+        rf.copy_ghost_from(Point3::new(-1, 0, 0), &lf, Point3::zero());
+        for g in right.ghost_slots(Point3::new(-1, 0, 0)) {
+            right.cells_of_slot(g).for_each(|p| {
+                assert_eq!(rf.get(p), idx_fn(p), "at {p:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let l = mk(16, 4, 1, BrickOrdering::SurfaceMajor);
+        let f = BrickedField::from_fn(l.clone(), idx_fn);
+        let mut g = BrickedField::new(l.clone());
+        for dir in DIRECTIONS_26 {
+            let slots = l.send_slots(dir);
+            let mut buf = Vec::new();
+            f.gather_bricks(&slots, &mut buf);
+            assert_eq!(buf.len(), slots.len() * l.brick_volume());
+            g.scatter_bricks(&slots, &buf);
+            for &s in &slots {
+                assert_eq!(g.brick(s), f.brick(s));
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_smoke() {
+        let l = mk(8, 4, 1, BrickOrdering::SurfaceMajor);
+        let f = BrickedField::from_fn(l.clone(), idx_fn);
+        let slot = l.slot_of_brick(Point3::zero());
+        let nb = f.neighborhood(slot);
+        // Reading local (-1,0,0) crosses into the -x ghost brick.
+        assert_eq!(nb.get(Point3::new(-1, 0, 0)), idx_fn(Point3::new(-1, 0, 0)));
+        assert_eq!(nb.get(Point3::new(0, 0, 0)), idx_fn(Point3::zero()));
+        assert_eq!(nb.get(Point3::new(4, 3, 3)), idx_fn(Point3::new(4, 3, 3)));
+    }
+}

@@ -1,0 +1,26 @@
+//! # gmg-comm — interconnect model and MPI-like rank runtime
+//!
+//! The paper's communication story has two layers, and so does this crate:
+//!
+//! * [`model`] — a message-level performance model of a Slingshot-11-class
+//!   NIC: sustained bandwidth, software latency, eager vs rendezvous
+//!   protocol selection (the `FI_CXI_RDZV_*` environment knobs of Table I),
+//!   hardware message matching, GPU-aware vs host-staged injection, and a
+//!   mild contention term for multi-node jobs. Calibrated per system from
+//!   the paper's Figure 6 discussion.
+//! * [`plan`] — geometry → message plan: which of the 26 neighbors gets how
+//!   many bytes per ghost exchange at a given level, ghost depth and layout
+//!   (bricked plans also carry the contiguous-run counts that quantify the
+//!   pack-free property of the surface-major ordering).
+//! * [`runtime`] — a real, threaded, in-process rank runtime with
+//!   ISend/IRecv/WaitAll semantics (channels + tag matching) used to execute
+//!   the *actual* distributed V-cycle numerics at test scale, including the
+//!   26-neighbor bricked and conventional ghost exchanges.
+
+pub mod model;
+pub mod plan;
+pub mod runtime;
+
+pub use model::{NetworkModel, Protocol};
+pub use plan::{ArrayExchangePlan, BrickExchangePlan};
+pub use runtime::{exchange_array, exchange_bricked, RankCtx, RankWorld};

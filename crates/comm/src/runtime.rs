@@ -1,0 +1,385 @@
+//! A real, in-process, threaded rank runtime with MPI-like semantics.
+//!
+//! Each rank runs on its own OS thread; `send` is non-blocking
+//! (`MPI_Isend`), `recv` blocks with `(source, tag)` matching
+//! (`MPI_Irecv` + `MPI_Wait`). On top of this the module implements the
+//! paper's `exchange()` for both bricked and conventional fields: 26
+//! neighbors, periodic wrap, deterministic tag matching, and a correct
+//! treatment of self-neighbors (subdomains that wrap onto themselves).
+//!
+//! This runtime exists for *numerical correctness* of the distributed
+//! V-cycle at test scale; performance at scale is the business of
+//! [`crate::model`].
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gmg_brick::BrickedField;
+use gmg_mesh::ghost::{direction_index, DIRECTIONS_26};
+use gmg_mesh::{Array3, Box3, Decomposition, Point3};
+
+/// A message: source rank, tag, payload.
+type Msg = (usize, u64, Vec<f64>);
+
+/// Reserved tag space for collectives; user tags must stay below this.
+const COLLECTIVE_TAG: u64 = u64::MAX - 1024;
+
+/// Per-rank communication context handed to the rank body.
+pub struct RankCtx {
+    rank: usize,
+    nranks: usize,
+    peers: Vec<Sender<Msg>>,
+    inbox: Receiver<Msg>,
+    /// Messages received but not yet matched.
+    stash: Vec<Msg>,
+}
+
+impl RankCtx {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Non-blocking tagged send (`MPI_Isend` with buffered semantics).
+    pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
+        self.peers[to]
+            .send((self.rank, tag, payload))
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive matching `(from, tag)`.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|(f, t, _)| *f == from && *t == tag)
+        {
+            return self.stash.swap_remove(pos).2;
+        }
+        loop {
+            let m = self.inbox.recv().expect("world shut down while receiving");
+            if m.0 == from && m.1 == tag {
+                return m.2;
+            }
+            self.stash.push(m);
+        }
+    }
+
+    /// Max-reduction over one value per rank, result on every rank.
+    pub fn allreduce_max(&mut self, v: f64) -> f64 {
+        self.allreduce(v, f64::max)
+    }
+
+    /// Sum-reduction over one value per rank, result on every rank.
+    pub fn allreduce_sum(&mut self, v: f64) -> f64 {
+        self.allreduce(v, |a, b| a + b)
+    }
+
+    fn allreduce(&mut self, v: f64, combine: impl Fn(f64, f64) -> f64) -> f64 {
+        // Gather to rank 0, reduce, broadcast. O(P) but P is small here.
+        let tag = COLLECTIVE_TAG;
+        if self.rank == 0 {
+            let mut acc = v;
+            for r in 1..self.nranks {
+                let m = self.recv(r, tag);
+                acc = combine(acc, m[0]);
+            }
+            for r in 1..self.nranks {
+                self.send(r, tag + 1, vec![acc]);
+            }
+            acc
+        } else {
+            self.send(0, tag, vec![v]);
+            self.recv(0, tag + 1)[0]
+        }
+    }
+
+    /// Barrier: everyone waits until all ranks arrive.
+    pub fn barrier(&mut self) {
+        self.allreduce_sum(0.0);
+    }
+}
+
+/// The world: spawns `nranks` threads, each running `body`, and collects
+/// their results in rank order.
+pub struct RankWorld;
+
+impl RankWorld {
+    /// Run `body(ctx)` on every rank concurrently and return the per-rank
+    /// results. Panics in any rank propagate.
+    pub fn run<T: Send>(nranks: usize, body: impl Fn(RankCtx) -> T + Sync) -> Vec<T> {
+        assert!(nranks >= 1);
+        let mut senders = Vec::with_capacity(nranks);
+        let mut receivers = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let body = &body;
+        let senders_ref = &senders;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nranks);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                handles.push(s.spawn(move || {
+                    body(RankCtx {
+                        rank,
+                        nranks,
+                        peers: senders_ref.to_vec(),
+                        inbox,
+                        stash: Vec::new(),
+                    })
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Tag for a halo message: the sender's direction index, offset by
+/// `tag_base` (callers bump `tag_base` per exchange round so rounds can't
+/// cross-match).
+fn halo_tag(tag_base: u64, dir: Point3) -> u64 {
+    let t = tag_base * 32 + direction_index(dir) as u64;
+    assert!(t < COLLECTIVE_TAG, "tag space exhausted");
+    t
+}
+
+/// The paper's `exchange()` for bricked fields: fill every ghost brick of
+/// `field` from the owning neighbor under `decomp`, using whole-brick
+/// messages in deterministic (lexicographic) brick order.
+pub fn exchange_bricked(
+    ctx: &mut RankCtx,
+    decomp: &Decomposition,
+    field: &mut BrickedField,
+    tag_base: u64,
+) {
+    let rank = ctx.rank();
+    let layout = field.layout().clone();
+    let bd = layout.brick_dim();
+    // Post all sends first (Isend), then satisfy receives.
+    for dir in DIRECTIONS_26 {
+        let nbr = decomp.neighbor(rank, dir);
+        if nbr.rank == rank {
+            continue; // handled locally below
+        }
+        let slots = layout.send_slots(dir);
+        let mut buf = Vec::with_capacity(slots.len() * layout.brick_volume());
+        for &s in &slots {
+            buf.extend_from_slice(field.brick(s));
+        }
+        ctx.send(nbr.rank, halo_tag(tag_base, dir), buf);
+    }
+    for dir in DIRECTIONS_26 {
+        let nbr = decomp.neighbor(rank, dir);
+        if nbr.rank == rank {
+            // Periodic wrap onto myself: local brick copies.
+            let shift_bricks = nbr.wrap_shift.div_floor(Point3::splat(bd));
+            field.copy_ghost_from_self(dir, shift_bricks);
+            continue;
+        }
+        // My ghost in direction `dir` comes from the neighbor's send in
+        // direction `-dir` (its direction toward me).
+        let payload = ctx.recv(nbr.rank, halo_tag(tag_base, -dir));
+        let ghosts = layout.ghost_slots(dir);
+        assert_eq!(
+            payload.len(),
+            ghosts.len() * layout.brick_volume(),
+            "halo payload size mismatch in {dir:?}"
+        );
+        for (i, &g) in ghosts.iter().enumerate() {
+            let bvol = layout.brick_volume();
+            field
+                .brick_mut(g)
+                .copy_from_slice(&payload[i * bvol..(i + 1) * bvol]);
+        }
+    }
+}
+
+/// The conventional `exchange()` for `Array3` fields with pack/unpack
+/// staging (the HPGMG-baseline path): depth-`depth` ghost exchange with all
+/// 26 neighbors.
+pub fn exchange_array(
+    ctx: &mut RankCtx,
+    decomp: &Decomposition,
+    a: &mut Array3<f64>,
+    depth: i64,
+    tag_base: u64,
+) {
+    let rank = ctx.rank();
+    let sub: Box3 = a.valid();
+    assert!(depth <= a.ghost(), "exchange depth exceeds ghost allocation");
+    let mut buf = Vec::new();
+    for dir in DIRECTIONS_26 {
+        let nbr = decomp.neighbor(rank, dir);
+        if nbr.rank == rank {
+            continue;
+        }
+        a.pack(sub.face_region(dir, depth), &mut buf);
+        ctx.send(nbr.rank, halo_tag(tag_base, dir), std::mem::take(&mut buf));
+    }
+    for dir in DIRECTIONS_26 {
+        let nbr = decomp.neighbor(rank, dir);
+        let recv_region = sub.halo_region(dir, depth);
+        if nbr.rank == rank {
+            // Self-wrap: my halo cell p equals my own cell p − wrap_shift.
+            a.pack(recv_region.shift(-nbr.wrap_shift), &mut buf);
+            let moved = std::mem::take(&mut buf);
+            a.unpack(recv_region, &moved);
+            buf = moved;
+            continue;
+        }
+        let payload = ctx.recv(nbr.rank, halo_tag(tag_base, -dir));
+        a.unpack(recv_region, &payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmg_brick::{BrickLayout, BrickOrdering};
+    use std::sync::Arc;
+
+    fn idx_fn(p: Point3) -> f64 {
+        (p.x + 1000 * p.y + 1_000_000 * p.z) as f64
+    }
+
+    #[test]
+    fn world_runs_and_collects_in_rank_order() {
+        let out = RankWorld::run(4, |ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn send_recv_matching_out_of_order() {
+        RankWorld::run(2, |mut ctx| {
+            if ctx.rank() == 0 {
+                // Send two tags; receiver asks for them in reverse order.
+                ctx.send(1, 7, vec![7.0]);
+                ctx.send(1, 8, vec![8.0]);
+            } else {
+                let b = ctx.recv(0, 8);
+                let a = ctx.recv(0, 7);
+                assert_eq!(a, vec![7.0]);
+                assert_eq!(b, vec![8.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_and_barrier() {
+        let out = RankWorld::run(5, |mut ctx| {
+            let m = ctx.allreduce_max(ctx.rank() as f64);
+            let s = ctx.allreduce_sum(1.0);
+            ctx.barrier();
+            (m, s)
+        });
+        for (m, s) in out {
+            assert_eq!(m, 4.0);
+            assert_eq!(s, 5.0);
+        }
+    }
+
+    #[test]
+    fn bricked_exchange_fills_all_ghosts_periodically() {
+        // 2×2×2 ranks over a 16³ domain, 4³ bricks, ghost shell 1 brick.
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(2));
+        let n = decomp.num_ranks();
+        let d = &decomp;
+        RankWorld::run(n, move |mut ctx| {
+            let sub = d.subdomain(ctx.rank());
+            let layout = Arc::new(BrickLayout::new(sub, 4, 1, BrickOrdering::SurfaceMajor));
+            let mut f = BrickedField::from_fn(layout.clone(), |p| {
+                if sub.contains(p) {
+                    idx_fn(p)
+                } else {
+                    f64::NAN
+                }
+            });
+            exchange_bricked(&mut ctx, d, &mut f, 1);
+            // Every storage cell must now hold the periodic image value.
+            let dom = d.domain().extent();
+            layout.storage_cell_box().for_each(|p| {
+                let expect = idx_fn(p.rem_euclid(dom));
+                assert_eq!(f.get(p), expect, "rank {} cell {p:?}", ctx.rank());
+            });
+        });
+    }
+
+    #[test]
+    fn bricked_exchange_single_rank_wraps() {
+        let decomp = Decomposition::single(Box3::cube(8));
+        let d = &decomp;
+        RankWorld::run(1, move |mut ctx| {
+            let layout = Arc::new(BrickLayout::new(
+                Box3::cube(8),
+                4,
+                1,
+                BrickOrdering::SurfaceMajor,
+            ));
+            let mut f = BrickedField::from_fn(layout.clone(), |p| {
+                if Box3::cube(8).contains(p) {
+                    idx_fn(p)
+                } else {
+                    -1.0
+                }
+            });
+            exchange_bricked(&mut ctx, d, &mut f, 1);
+            layout.storage_cell_box().for_each(|p| {
+                assert_eq!(f.get(p), idx_fn(p.rem_euclid(Point3::splat(8))));
+            });
+        });
+    }
+
+    #[test]
+    fn array_exchange_fills_ghosts_at_depth() {
+        for grid in [Point3::new(2, 1, 1), Point3::splat(2)] {
+            let decomp = Decomposition::new(Box3::cube(16), grid);
+            let n = decomp.num_ranks();
+            let d = &decomp;
+            let depth = 2;
+            RankWorld::run(n, move |mut ctx| {
+                let sub = d.subdomain(ctx.rank());
+                let mut a = Array3::from_fn(sub, depth, |p| {
+                    if sub.contains(p) {
+                        idx_fn(p)
+                    } else {
+                        f64::NAN
+                    }
+                });
+                exchange_array(&mut ctx, d, &mut a, depth, 3);
+                let dom = d.domain().extent();
+                sub.grow(depth).for_each(|p| {
+                    let expect = idx_fn(p.rem_euclid(dom));
+                    assert_eq!(a[p], expect, "rank {} cell {p:?}", ctx.rank());
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn repeated_exchanges_with_distinct_tag_bases() {
+        // Two back-to-back exchanges must not cross-match.
+        let decomp = Decomposition::new(Box3::cube(8), Point3::new(2, 1, 1));
+        let d = &decomp;
+        RankWorld::run(2, move |mut ctx| {
+            let sub = d.subdomain(ctx.rank());
+            let mut a = Array3::from_fn(sub, 1, idx_fn);
+            exchange_array(&mut ctx, d, &mut a, 1, 10);
+            // Mutate and exchange again.
+            let valid = a.valid();
+            a.for_each_mut(valid, |_, v| *v += 1.0);
+            exchange_array(&mut ctx, d, &mut a, 1, 11);
+            let dom = d.domain().extent();
+            sub.grow(1).for_each(|p| {
+                assert_eq!(a[p], idx_fn(p.rem_euclid(dom)) + 1.0);
+            });
+        });
+    }
+}

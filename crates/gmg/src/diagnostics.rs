@@ -1,0 +1,203 @@
+//! Solver diagnostics: norms beyond the max-norm, convergence-history
+//! analysis, and work-unit accounting (the "how many fine-grid sweeps did
+//! this cost" bookkeeping multigrid papers report).
+
+use crate::level::Level;
+use crate::solver::{SolveStats, SolverConfig};
+use gmg_comm::runtime::RankCtx;
+use serde::{Deserialize, Serialize};
+
+/// Norms of a field over this rank's owned region (combine across ranks
+/// with the matching all-reduce).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LocalNorms {
+    /// Σ v².
+    pub sum_sq: f64,
+    /// max |v|.
+    pub max_abs: f64,
+    /// Σ v (for mean / conservation checks).
+    pub sum: f64,
+    /// Cell count.
+    pub cells: usize,
+}
+
+impl LocalNorms {
+    /// Norms of the residual field at `level`.
+    pub fn of_residual(level: &Level) -> Self {
+        let (sum_sq, max_abs, sum) = level.r.par_reduce(
+            level.owned,
+            (0.0f64, 0.0f64, 0.0f64),
+            |_, v| (v * v, v.abs(), v),
+            |a, b| (a.0 + b.0, a.1.max(b.1), a.2 + b.2),
+        );
+        Self {
+            sum_sq,
+            max_abs,
+            sum,
+            cells: level.owned.volume(),
+        }
+    }
+
+    /// Combine this rank's norms with the rest of the world.
+    pub fn global(self, ctx: &mut RankCtx) -> GlobalNorms {
+        let sum_sq = ctx.allreduce_sum(self.sum_sq);
+        let max_abs = ctx.allreduce_max(self.max_abs);
+        let sum = ctx.allreduce_sum(self.sum);
+        let cells = ctx.allreduce_sum(self.cells as f64);
+        GlobalNorms {
+            l2: (sum_sq / cells).sqrt(),
+            max: max_abs,
+            mean: sum / cells,
+        }
+    }
+}
+
+/// Domain-wide norms.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GlobalNorms {
+    /// RMS (discrete L2) norm.
+    pub l2: f64,
+    /// Max norm (the paper's convergence criterion).
+    pub max: f64,
+    /// Mean value — must stay ~0 for the periodic Poisson problem
+    /// (conservation of the compatible right-hand side).
+    pub mean: f64,
+}
+
+/// Analysis of a residual history.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Reduction factor per cycle.
+    pub factors: Vec<f64>,
+    /// Geometric mean of the factors.
+    pub mean_factor: f64,
+    /// The asymptotic (last-cycle) factor — the quantity multigrid theory
+    /// bounds.
+    pub asymptotic_factor: f64,
+    /// Estimated cycles to gain one decimal digit asymptotically.
+    pub cycles_per_digit: f64,
+}
+
+impl ConvergenceReport {
+    /// Analyze a residual-history vector (e.g.
+    /// [`SolveStats::residual_history`]).
+    pub fn from_history(history: &[f64]) -> Self {
+        assert!(history.len() >= 2, "need at least two residuals");
+        let factors: Vec<f64> = history
+            .windows(2)
+            .map(|w| if w[0] > 0.0 { w[1] / w[0] } else { 0.0 })
+            .collect();
+        let mean_factor = {
+            let prod: f64 = factors.iter().product();
+            prod.powf(1.0 / factors.len() as f64)
+        };
+        let asymptotic_factor = *factors.last().expect("non-empty");
+        let cycles_per_digit = if asymptotic_factor > 0.0 && asymptotic_factor < 1.0 {
+            -1.0 / asymptotic_factor.log10()
+        } else {
+            f64::INFINITY
+        };
+        Self {
+            factors,
+            mean_factor,
+            asymptotic_factor,
+            cycles_per_digit,
+        }
+    }
+
+    /// Convenience over a whole solve.
+    pub fn of(stats: &SolveStats) -> Self {
+        Self::from_history(&stats.residual_history)
+    }
+}
+
+/// Work units (fine-grid-sweep equivalents) per cycle of a configuration —
+/// the standard multigrid cost accounting: one WU = one operator sweep of
+/// the finest grid; level l costs 8^{-l} WU per sweep.
+pub fn work_units_per_cycle(config: &SolverConfig) -> f64 {
+    let smooths = config.max_smooths as f64;
+    let apply_per_smooth = config.smoother.apply_ops_per_iteration() as f64;
+    let gamma = config.cycle_gamma.max(1) as f64;
+    let mut wu = 0.0;
+    let top = config.num_levels - 1;
+    // Level l is visited γ^l times per cycle.
+    for l in 0..top {
+        let visits = gamma.powi(l as i32);
+        let per_visit = 2.0 * smooths * (1.0 + apply_per_smooth); // pre+post, applyOp+update
+        wu += visits * per_visit / 8f64.powi(l as i32);
+    }
+    let bottom_visits = gamma.powi(top as i32);
+    wu += bottom_visits * config.bottom_smooths as f64 * (1.0 + apply_per_smooth)
+        / 8f64.powi(top as i32);
+    wu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoother::Smoother;
+    use crate::solver::GmgSolver;
+    use gmg_comm::runtime::RankWorld;
+    use gmg_mesh::{Box3, Decomposition, Point3};
+
+    #[test]
+    fn convergence_report_math() {
+        let r = ConvergenceReport::from_history(&[1.0, 0.1, 0.01, 0.001]);
+        for f in &r.factors {
+            assert!((f - 0.1).abs() < 1e-12);
+        }
+        assert!((r.mean_factor - 0.1).abs() < 1e-12);
+        assert!((r.asymptotic_factor - 0.1).abs() < 1e-12);
+        assert!((r.cycles_per_digit - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stalled_history_reports_infinite_digits() {
+        let r = ConvergenceReport::from_history(&[1.0, 1.0]);
+        assert!(r.cycles_per_digit.is_infinite());
+    }
+
+    #[test]
+    fn work_units_scale_with_cycle_gamma() {
+        let v = SolverConfig {
+            cycle_gamma: 1,
+            ..SolverConfig::paper_default()
+        };
+        let w = SolverConfig {
+            cycle_gamma: 2,
+            ..SolverConfig::paper_default()
+        };
+        let wu_v = work_units_per_cycle(&v);
+        let wu_w = work_units_per_cycle(&w);
+        assert!(wu_w > wu_v);
+        // In 3D the W-cycle stays O(1) work per cycle (γ/8 < 1): well under
+        // 2× the V-cycle.
+        assert!(wu_w < 2.0 * wu_v, "{wu_w} vs {wu_v}");
+        // Red-black GS doubles the operator applications.
+        let gs = SolverConfig {
+            smoother: Smoother::RedBlackGaussSeidel,
+            ..SolverConfig::paper_default()
+        };
+        assert!(work_units_per_cycle(&gs) > wu_v);
+    }
+
+    #[test]
+    fn global_norms_of_initial_residual() {
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(2));
+        let d = &decomp;
+        let out = RankWorld::run(8, move |mut ctx| {
+            let mut s = GmgSolver::new(d.clone(), ctx.rank(), SolverConfig::test_default());
+            // x = 0 → r = b after one residual evaluation.
+            let tag = 999;
+            crate::ops::max_norm_residual(&mut ctx, &mut s.levels[0], tag);
+            LocalNorms::of_residual(&s.levels[0]).global(&mut ctx)
+        });
+        for g in out {
+            // b is the unit separable sine: max ≈ 1 (cell-centered), zero
+            // mean, L2 = (1/2)^{3/2} ≈ 0.354 for the product of sines.
+            assert!(g.max > 0.9 && g.max <= 1.0);
+            assert!(g.mean.abs() < 1e-12);
+            assert!((g.l2 - 0.3536).abs() < 0.02, "L2 {}", g.l2);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Distributed operator helpers: exchanges that track the
+//! communication-avoiding margin, and the global convergence check.
+
+use crate::level::Level;
+use gmg_comm::runtime::{exchange_bricked, RankCtx};
+
+/// Exchange the ghost bricks of `level.x` with all 26 neighbors and reset
+/// the communication-avoiding margin to the full ghost depth.
+pub fn exchange_x(ctx: &mut RankCtx, level: &mut Level, tag_base: u64) {
+    let decomp = level.decomp.clone();
+    exchange_bricked(ctx, &decomp, &mut level.x, tag_base);
+    level.margin = level.ghost_cells();
+}
+
+/// Exchange the ghost bricks of `level.b`. Needed once per V-cycle per
+/// coarse level: restriction writes `b` on owned cells only, but
+/// communication-avoiding smoothing reads `b` in the ghost shell while
+/// redundantly recomputing there.
+pub fn exchange_b(ctx: &mut RankCtx, level: &mut Level, tag_base: u64) {
+    let decomp = level.decomp.clone();
+    exchange_bricked(ctx, &decomp, &mut level.b, tag_base);
+}
+
+/// Global max-norm residual at `level` (Algorithm 1's `maxNormRes`):
+/// exchange, fresh `applyOp`, residual, and an all-reduce across ranks.
+pub fn max_norm_residual(ctx: &mut RankCtx, level: &mut Level, tag_base: u64) -> f64 {
+    exchange_x(ctx, level, tag_base);
+    level.apply_op(level.owned);
+    level.residual(level.owned);
+    let local = level.max_norm_r();
+    ctx.allreduce_max(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PoissonProblem;
+    use gmg_brick::{BrickOrdering, BrickedField};
+    use gmg_comm::runtime::RankWorld;
+    use gmg_mesh::{Box3, Decomposition, Point3};
+
+    #[test]
+    fn exchange_resets_margin() {
+        let problem = PoissonProblem::new(16);
+        let decomp = Decomposition::new(Box3::cube(16), Point3::new(2, 1, 1));
+        let d = &decomp;
+        let pr = &problem;
+        RankWorld::run(2, move |mut ctx| {
+            let mut l = Level::new(
+                pr,
+                d.clone(),
+                ctx.rank(),
+                0,
+                4,
+                BrickOrdering::SurfaceMajor,
+            );
+            assert_eq!(l.margin, 0);
+            exchange_x(&mut ctx, &mut l, 1);
+            assert_eq!(l.margin, 4);
+        });
+    }
+
+    #[test]
+    fn residual_of_exact_discrete_solution_is_zero() {
+        // x = b/λ is the exact discrete solution of the periodic problem;
+        // the distributed residual must vanish to roundoff.
+        let n = 16;
+        let problem = PoissonProblem::new(n);
+        let decomp = Decomposition::new(Box3::cube(n), Point3::splat(2));
+        let d = &decomp;
+        let pr = &problem;
+        let out = RankWorld::run(8, move |mut ctx| {
+            let mut l = Level::new(
+                pr,
+                d.clone(),
+                ctx.rank(),
+                0,
+                4,
+                BrickOrdering::SurfaceMajor,
+            );
+            let lambda = pr.discrete_eigenvalue();
+            l.b = BrickedField::from_fn(l.layout.clone(), |p| {
+                pr.rhs(p.rem_euclid(Point3::splat(n)))
+            });
+            l.x = BrickedField::from_fn(l.layout.clone(), |p| {
+                pr.rhs(p.rem_euclid(Point3::splat(n))) / lambda
+            });
+            max_norm_residual(&mut ctx, &mut l, 2)
+        });
+        for r in out {
+            assert!(r < 1e-10, "residual {r}");
+        }
+    }
+
+    #[test]
+    fn max_norm_residual_agrees_across_ranks() {
+        let n = 16;
+        let problem = PoissonProblem::new(n);
+        let decomp = Decomposition::new(Box3::cube(n), Point3::new(2, 2, 1));
+        let d = &decomp;
+        let pr = &problem;
+        let out = RankWorld::run(4, move |mut ctx| {
+            let mut l = Level::new(
+                pr,
+                d.clone(),
+                ctx.rank(),
+                0,
+                4,
+                BrickOrdering::SurfaceMajor,
+            );
+            l.b = BrickedField::from_fn(l.layout.clone(), |p| {
+                pr.rhs(p.rem_euclid(Point3::splat(n)))
+            });
+            l.init_zero();
+            max_norm_residual(&mut ctx, &mut l, 5)
+        });
+        // With x = 0, residual = b, whose global max-norm is the same on
+        // every rank after the all-reduce.
+        for w in out.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert!(out[0] > 0.9 && out[0] <= 1.0);
+    }
+}

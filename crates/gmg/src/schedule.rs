@@ -1,0 +1,588 @@
+//! Schedule-level simulation of the V-cycle against the machine models.
+//!
+//! Executes the exact same operation schedule as [`crate::solver`]
+//! (Algorithm 2, including communication-avoiding margin tracking), but
+//! instead of computing numerics it prices every kernel with
+//! `gmg-machine`'s latency-throughput engine and every exchange with
+//! `gmg-comm`'s network model. This is how the paper-scale experiments
+//! (512³ per rank, 512 GPUs) are reproduced on a development machine:
+//! the *numerics* are validated at small scale by the real solver, and the
+//! *performance shape* is generated here from calibrated models.
+
+use gmg_brick::BrickOrdering;
+use gmg_comm::model::NetworkModel;
+use gmg_comm::plan::BrickExchangePlan;
+use gmg_machine::gpu::System;
+use gmg_machine::timing::KernelTiming;
+use gmg_mesh::Point3;
+use gmg_stencil::OpKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of a simulated run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScheduleConfig {
+    pub system: System,
+    /// Per-rank subdomain extent at the finest level.
+    pub sub_extent: Point3,
+    pub num_levels: usize,
+    pub smooths_per_level: usize,
+    pub bottom_smooths: usize,
+    pub vcycles: usize,
+    /// Nodes in the job (drives network contention).
+    pub nodes: usize,
+    /// MPI ranks (GPUs) per node.
+    pub ranks_per_node: usize,
+    pub communication_avoiding: bool,
+    pub ordering: BrickOrdering,
+    /// Use GPU-aware MPI (overrides the system default when `Some`).
+    pub gpu_aware_override: Option<bool>,
+    /// Offload levels with at most this many cells per rank to the host
+    /// CPU — the strong-scaling remedy the paper's discussion proposes
+    /// ("solving small size problems on the CPU where latency/overhead
+    /// timings could be significantly less than the GPU ones"). `None`
+    /// keeps everything on the GPU (the paper's measured configuration).
+    pub cpu_offload_below_cells: Option<usize>,
+}
+
+/// Host-CPU execution parameters for offloaded coarse levels (an EPYC-class
+/// socket: much lower launch overhead, much lower bandwidth than HBM).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CpuModel {
+    pub kernel_overhead_us: f64,
+    pub dram_gbs: f64,
+    /// PCIe transfer bandwidth for migrating a level between device and
+    /// host (paid once per V-cycle per offloaded boundary).
+    pub pcie_gbs: f64,
+    pub pcie_latency_us: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self {
+            kernel_overhead_us: 0.5,
+            dram_gbs: 180.0,
+            pcie_gbs: 32.0,
+            pcie_latency_us: 10.0,
+        }
+    }
+}
+
+impl ScheduleConfig {
+    /// The paper's Section VI configuration: 8 nodes, one rank per node,
+    /// 512³ per rank, 6 levels, 12 smooths, 100 bottom smooths, 12 V-cycles.
+    pub fn paper_section6(system: System) -> Self {
+        Self {
+            system,
+            sub_extent: Point3::splat(512),
+            num_levels: 6,
+            smooths_per_level: 12,
+            bottom_smooths: 100,
+            vcycles: 12,
+            nodes: 8,
+            ranks_per_node: 1,
+            communication_avoiding: true,
+            ordering: BrickOrdering::SurfaceMajor,
+            gpu_aware_override: None,
+            cpu_offload_below_cells: None,
+        }
+    }
+
+    /// Whether level `li` runs on the host CPU under this config.
+    pub fn level_on_cpu(&self, li: usize) -> bool {
+        match self.cpu_offload_below_cells {
+            Some(t) => (self.extent_at(li).product() as usize) <= t,
+            None => false,
+        }
+    }
+
+    /// Total MPI ranks.
+    pub fn nranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// The network model for this run (system preset, GPU-awareness
+    /// override, contention at the job's node count).
+    pub fn network(&self) -> NetworkModel {
+        let base = match self.system {
+            System::Perlmutter => NetworkModel::perlmutter(),
+            System::Frontier => NetworkModel::frontier(),
+            System::Sunspot => NetworkModel::sunspot(),
+        };
+        let base = match self.gpu_aware_override {
+            Some(v) => base.with_gpu_aware(v),
+            None => base,
+        };
+        base.at_scale(self.nodes)
+    }
+
+    /// Brick dimension at level `li` (clamped to the shrinking subdomain).
+    pub fn brick_dim_at(&self, li: usize) -> i64 {
+        let e = self.extent_at(li);
+        let min_axis = e.x.min(e.y).min(e.z);
+        self.system.gpu().optimal_brick_dim.min(min_axis)
+    }
+
+    /// Per-rank extent at level `li`.
+    pub fn extent_at(&self, li: usize) -> Point3 {
+        let s = 1i64 << li;
+        Point3::new(
+            self.sub_extent.x / s,
+            self.sub_extent.y / s,
+            self.sub_extent.z / s,
+        )
+    }
+}
+
+/// Simulated per-level time breakdown over the whole run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimLevelBreakdown {
+    pub level: usize,
+    pub cells_per_rank: usize,
+    /// Seconds per op name over the full run.
+    pub op_seconds: BTreeMap<String, f64>,
+    pub total_seconds: f64,
+    /// Exchange invocations over the full run.
+    pub exchanges: usize,
+}
+
+impl SimLevelBreakdown {
+    /// Seconds recorded under `op`.
+    pub fn op(&self, name: &str) -> f64 {
+        self.op_seconds.get(name).copied().unwrap_or(0.0)
+    }
+}
+
+/// Result of a simulated run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimResult {
+    pub system: System,
+    pub nranks: usize,
+    pub levels: Vec<SimLevelBreakdown>,
+    /// Per-rank wall-clock of the full run (all ranks congruent).
+    pub total_seconds: f64,
+    /// Seconds per V-cycle.
+    pub per_vcycle_seconds: f64,
+    /// Aggregate throughput: global finest-grid cells × V-cycles / time.
+    pub gstencil_per_s: f64,
+}
+
+impl SimResult {
+    /// Weak-scaling parallel efficiency of `self` against a baseline run
+    /// with fewer ranks and the same per-rank problem.
+    pub fn weak_efficiency(&self, baseline: &SimResult) -> f64 {
+        let per_rank_self = self.gstencil_per_s / self.nranks as f64;
+        let per_rank_base = baseline.gstencil_per_s / baseline.nranks as f64;
+        per_rank_self / per_rank_base
+    }
+
+    /// Strong-scaling efficiency: speedup over baseline divided by the
+    /// rank ratio.
+    pub fn strong_efficiency(&self, baseline: &SimResult) -> f64 {
+        (baseline.total_seconds / self.total_seconds)
+            / (self.nranks as f64 / baseline.nranks as f64)
+    }
+}
+
+struct Sim<'a> {
+    cfg: &'a ScheduleConfig,
+    gpu: gmg_machine::GpuModel,
+    net: NetworkModel,
+    plans: Vec<BrickExchangePlan>,
+    acc: Vec<BTreeMap<String, f64>>,
+    exchanges: Vec<usize>,
+    margins: Vec<i64>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a ScheduleConfig) -> Self {
+        let gpu = cfg.system.gpu();
+        let net = cfg.network();
+        let plans = (0..cfg.num_levels)
+            .map(|li| {
+                BrickExchangePlan::new(
+                    cfg.extent_at(li),
+                    cfg.brick_dim_at(li),
+                    1,
+                    cfg.ordering,
+                )
+            })
+            .collect();
+        Self {
+            cfg,
+            gpu,
+            net,
+            plans,
+            acc: vec![BTreeMap::new(); cfg.num_levels],
+            exchanges: vec![0; cfg.num_levels],
+            margins: vec![0; cfg.num_levels],
+        }
+    }
+
+    fn add(&mut self, li: usize, op: &str, secs: f64) {
+        *self.acc[li].entry(op.to_string()).or_insert(0.0) += secs;
+    }
+
+    fn kernel(&mut self, li: usize, op: OpKind, points: usize) {
+        let t = if self.cfg.level_on_cpu(li) {
+            let cpu = CpuModel::default();
+            let traffic = op.traffic().per_fine_point();
+            cpu.kernel_overhead_us * 1e-6
+                + points as f64 * traffic.bytes_per_point() / (cpu.dram_gbs * 1e9)
+        } else {
+            KernelTiming::model(&self.gpu, op, points).time_s
+        };
+        self.add(li, op.name(), t);
+    }
+
+    fn exchange(&mut self, li: usize) {
+        let t = if self.cfg.level_on_cpu(li) {
+            // Host-resident data: no device staging, and the host path to
+            // the NIC skips the GPU progress engine.
+            let host_net = self.net.clone().with_gpu_aware(true);
+            0.5 * host_net.exchange_time_s(&self.plans[li].message_bytes)
+        } else {
+            self.net.exchange_time_s(&self.plans[li].message_bytes)
+        };
+        self.add(li, "exchange", t);
+        self.exchanges[li] += 1;
+    }
+
+    /// PCIe migration cost when the hierarchy crosses the device/host
+    /// boundary between levels `l` and `l+1` (restriction down, and the
+    /// matching interpolation back up).
+    fn offload_crossing(&mut self, fine: usize, coarse: usize) {
+        if self.cfg.level_on_cpu(coarse) && !self.cfg.level_on_cpu(fine) {
+            let cpu = CpuModel::default();
+            let bytes = self.cfg.extent_at(coarse).product() as f64 * 8.0;
+            let t = cpu.pcie_latency_us * 1e-6 + bytes / (cpu.pcie_gbs * 1e9);
+            // b down + x up: two crossings per V-cycle visit.
+            self.add(coarse, "pcie-migrate", 2.0 * t);
+        }
+    }
+
+    /// Region cell count for a smooth at the current margin.
+    fn region_points(&self, li: usize) -> usize {
+        let e = self.cfg.extent_at(li);
+        if self.cfg.communication_avoiding {
+            let m = self.margins[li];
+            let g = 2 * (m - 1);
+            ((e.x + g) * (e.y + g) * (e.z + g)) as usize
+        } else {
+            (e.x * e.y * e.z) as usize
+        }
+    }
+
+    fn smooth_pass(&mut self, li: usize, n: usize, fused: bool) {
+        let ca = self.cfg.communication_avoiding;
+        let ghost = self.cfg.brick_dim_at(li);
+        for _ in 0..n {
+            if !ca || self.margins[li] < 1 {
+                self.exchange(li);
+                self.margins[li] = ghost;
+            }
+            let points = self.region_points(li);
+            self.kernel(li, OpKind::ApplyOp, points);
+            self.kernel(
+                li,
+                if fused {
+                    OpKind::SmoothResidual
+                } else {
+                    OpKind::Smooth
+                },
+                points,
+            );
+            self.margins[li] -= 1;
+        }
+    }
+
+    fn init_zero(&mut self, li: usize) {
+        let cells = self.plans[li].sub_extent.product() as f64
+            + self.plans[li].total_bytes() as f64 / 8.0; // owned + ghost shell
+        let t = self.gpu.kernel_overhead_us * 1e-6 + cells * 8.0 / (self.gpu.hbm_gbs * 1e9);
+        self.add(li, "initZero", t);
+        self.margins[li] = self.cfg.brick_dim_at(li);
+    }
+
+    fn vcycle(&mut self) {
+        let top = self.cfg.num_levels - 1;
+        let smooths = self.cfg.smooths_per_level;
+        for l in 0..top {
+            self.smooth_pass(l, smooths, true);
+            // Restriction processes the fine level's cells.
+            let fine_points = self.cfg.extent_at(l).product() as usize;
+            self.kernel(l, OpKind::Restriction, fine_points);
+            self.init_zero(l + 1);
+            self.offload_crossing(l, l + 1);
+            if self.cfg.communication_avoiding {
+                self.exchange(l + 1); // b ghost after restriction
+            }
+        }
+        self.smooth_pass(top, self.cfg.bottom_smooths, false);
+        for l in (0..top).rev() {
+            let fine_points = self.cfg.extent_at(l).product() as usize;
+            self.kernel(l, OpKind::InterpolationIncrement, fine_points);
+            self.margins[l] = 0; // interpolation invalidates the ghost shell
+            self.smooth_pass(l, smooths, true);
+        }
+    }
+}
+
+/// Run the simulation.
+pub fn simulate(cfg: &ScheduleConfig) -> SimResult {
+    assert!(cfg.num_levels >= 1);
+    for li in 0..cfg.num_levels {
+        let e = cfg.extent_at(li);
+        assert!(
+            e.x >= 1 && e.y >= 1 && e.z >= 1,
+            "level {li} extent {e:?} vanished; reduce num_levels"
+        );
+    }
+    let mut sim = Sim::new(cfg);
+    for _ in 0..cfg.vcycles {
+        sim.vcycle();
+    }
+    let levels: Vec<SimLevelBreakdown> = (0..cfg.num_levels)
+        .map(|li| {
+            let op_seconds = sim.acc[li].clone();
+            let total_seconds: f64 = op_seconds.values().sum();
+            SimLevelBreakdown {
+                level: li,
+                cells_per_rank: cfg.extent_at(li).product() as usize,
+                op_seconds,
+                total_seconds,
+                exchanges: sim.exchanges[li],
+            }
+        })
+        .collect();
+    let total_seconds: f64 = levels.iter().map(|l| l.total_seconds).sum();
+    let finest_cells_global = cfg.sub_extent.product() as f64 * cfg.nranks() as f64;
+    SimResult {
+        system: cfg.system,
+        nranks: cfg.nranks(),
+        total_seconds,
+        per_vcycle_seconds: total_seconds / cfg.vcycles as f64,
+        gstencil_per_s: finest_cells_global * cfg.vcycles as f64 / total_seconds / 1e9,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(system: System) -> ScheduleConfig {
+        let mut c = ScheduleConfig::paper_section6(system);
+        c.sub_extent = Point3::splat(128);
+        c.num_levels = 4;
+        c.vcycles = 2;
+        c
+    }
+
+    #[test]
+    fn paper_config_shape() {
+        let cfg = ScheduleConfig::paper_section6(System::Perlmutter);
+        assert_eq!(cfg.nranks(), 8);
+        assert_eq!(cfg.extent_at(5), Point3::splat(16));
+        assert_eq!(cfg.brick_dim_at(0), 8);
+        assert_eq!(cfg.brick_dim_at(5), 8); // 16³ still fits 8³ bricks
+    }
+
+    #[test]
+    fn brick_dim_clamps_on_tiny_levels() {
+        let mut cfg = ScheduleConfig::paper_section6(System::Perlmutter);
+        cfg.sub_extent = Point3::splat(64);
+        cfg.num_levels = 5; // level 4 = 4³
+        assert_eq!(cfg.brick_dim_at(4), 4);
+    }
+
+    #[test]
+    fn level_times_decrease_but_flatten() {
+        // Figure 3 shape: per-level totals decrease roughly 4–8× on fine
+        // levels and flatten (latency/bottom-solve bound) on coarse ones.
+        let r = simulate(&ScheduleConfig::paper_section6(System::Perlmutter));
+        assert_eq!(r.levels.len(), 6);
+        let t: Vec<f64> = r.levels.iter().map(|l| l.total_seconds).collect();
+        for w in t.windows(2).take(3) {
+            let ratio = w[0] / w[1];
+            assert!(
+                (2.0..10.0).contains(&ratio),
+                "fine-level ratio {ratio} out of range: {t:?}"
+            );
+        }
+        // The coarsest level (100 bottom smooths) is NOT negligible.
+        assert!(t[5] > 0.01 * t[0], "bottom solve vanished: {t:?}");
+    }
+
+    #[test]
+    fn finest_level_fractions_match_table2_shape() {
+        // Table II: smooth+residual ≈ 50–55%, applyOp ≈ 22–31%,
+        // exchange ≈ 13–20%, restriction ≈ 1%, interpolation ≈ 2–5%.
+        for sys in System::ALL {
+            let r = simulate(&ScheduleConfig::paper_section6(sys));
+            let l0 = &r.levels[0];
+            let total = l0.total_seconds;
+            let frac = |op: &str| l0.op(op) / total;
+            assert!(
+                (0.40..0.62).contains(&frac("smooth+residual")),
+                "{sys:?} smooth+residual {:.2}",
+                frac("smooth+residual")
+            );
+            assert!(
+                (0.15..0.40).contains(&frac("applyOp")),
+                "{sys:?} applyOp {:.2}",
+                frac("applyOp")
+            );
+            assert!(
+                (0.02..0.30).contains(&frac("exchange")),
+                "{sys:?} exchange {:.2}",
+                frac("exchange")
+            );
+            assert!(frac("restriction") < 0.05, "{sys:?}");
+            assert!(frac("interpolation+increment") < 0.10, "{sys:?}");
+        }
+    }
+
+    #[test]
+    fn ca_reduces_exchanges_and_total_time_at_coarse_levels() {
+        let mut ca = small(System::Frontier);
+        ca.vcycles = 4;
+        let mut plain = ca.clone();
+        plain.communication_avoiding = false;
+        let rc = simulate(&ca);
+        let rp = simulate(&plain);
+        // CA needs far fewer exchanges at every level.
+        for (a, b) in rc.levels.iter().zip(&rp.levels) {
+            assert!(a.exchanges < b.exchanges, "level {}", a.level);
+        }
+        // And wins on total time at the latency-bound coarsest level.
+        let last = ca.num_levels - 1;
+        assert!(rc.levels[last].total_seconds < rp.levels[last].total_seconds);
+    }
+
+    #[test]
+    fn gpu_aware_matters() {
+        let mut on = small(System::Perlmutter);
+        on.gpu_aware_override = Some(true);
+        let mut off = on.clone();
+        off.gpu_aware_override = Some(false);
+        let t_on = simulate(&on).total_seconds;
+        let t_off = simulate(&off).total_seconds;
+        assert!(t_off > t_on, "host staging must cost time");
+    }
+
+    #[test]
+    fn weak_scaling_efficiency_above_87_percent() {
+        // Figure 8's headline: ≥87% parallel efficiency at 128 nodes.
+        for sys in [System::Perlmutter, System::Frontier] {
+            let mut base = ScheduleConfig::paper_section6(sys);
+            base.nodes = 2;
+            base.ranks_per_node = sys.ranks_per_node();
+            let mut big = base.clone();
+            big.nodes = 128;
+            let rb = simulate(&base);
+            let rg = simulate(&big);
+            let eff = rg.weak_efficiency(&rb);
+            assert!(
+                (0.87..=1.0).contains(&eff),
+                "{sys:?} weak efficiency {eff:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_nodes_deliver_about_double_perlmutter() {
+        // Figure 8: Frontier ≈ 2× Perlmutter GStencil/s at equal node
+        // counts (8 GCD-ranks vs 4 GPU-ranks per node).
+        let mk = |sys: System| {
+            let mut c = ScheduleConfig::paper_section6(sys);
+            c.nodes = 16;
+            c.ranks_per_node = sys.ranks_per_node();
+            simulate(&c)
+        };
+        let p = mk(System::Perlmutter);
+        let f = mk(System::Frontier);
+        let ratio = f.gstencil_per_s / p.gstencil_per_s;
+        assert!((1.5..2.5).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_degrades() {
+        // Figure 9: fixed total problem; efficiency nose-dives as per-rank
+        // size shrinks into the latency-bound regime.
+        let mk = |nodes: usize| {
+            let mut c = ScheduleConfig::paper_section6(System::Perlmutter);
+            c.ranks_per_node = 4;
+            c.nodes = nodes;
+            // Fixed 1024³ total: per-rank = 1024/cbrt(4·nodes) per axis.
+            let ranks = (4 * nodes) as f64;
+            let per = (1024.0 / ranks.cbrt()).round() as i64;
+            c.sub_extent = Point3::splat((per as u64).next_power_of_two() as i64);
+            c.num_levels = 5;
+            simulate(&c)
+        };
+        let small = mk(2); // 8 ranks, 512³ each
+        let big = mk(128); // 512 ranks, 128³ each
+        let eff = big.strong_efficiency(&small);
+        assert!(eff < 0.85, "strong efficiency should degrade: {eff:.2}");
+        assert!(eff > 0.05, "but not vanish: {eff:.2}");
+    }
+
+    #[test]
+    fn cpu_offload_helps_latency_bound_coarse_levels() {
+        // The discussion-section remedy: running tiny coarse levels on the
+        // CPU (0.5 µs launch overhead vs 5–20 µs) should cut their time.
+        let mut gpu_only = ScheduleConfig::paper_section6(System::Sunspot);
+        gpu_only.sub_extent = Point3::splat(128);
+        gpu_only.num_levels = 5;
+        let mut offload = gpu_only.clone();
+        offload.cpu_offload_below_cells = Some(16 * 16 * 16);
+        assert!(offload.level_on_cpu(4)); // 8³ per rank
+        assert!(!offload.level_on_cpu(0));
+        let g = simulate(&gpu_only);
+        let o = simulate(&offload);
+        let last = gpu_only.num_levels - 1;
+        assert!(
+            o.levels[last].total_seconds < g.levels[last].total_seconds,
+            "offloaded coarsest {:.4} vs GPU {:.4}",
+            o.levels[last].total_seconds,
+            g.levels[last].total_seconds
+        );
+        // Fine levels are untouched.
+        assert!((o.levels[0].total_seconds - g.levels[0].total_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_offload_improves_strong_scaling_tail() {
+        // At 512 ranks of a fixed 1024³ the per-rank problem is 128³ and
+        // the coarse levels dominate as latency; offloading them improves
+        // total time.
+        let mk = |offload: Option<usize>| {
+            let mut c = ScheduleConfig::paper_section6(System::Perlmutter);
+            c.nodes = 128;
+            c.ranks_per_node = 4;
+            c.sub_extent = Point3::splat(128);
+            c.num_levels = 5;
+            c.cpu_offload_below_cells = offload;
+            simulate(&c).total_seconds
+        };
+        let plain = mk(None);
+        let offloaded = mk(Some(32 * 32 * 32));
+        assert!(
+            offloaded < plain,
+            "offload {offloaded:.3}s should beat {plain:.3}s"
+        );
+    }
+
+    #[test]
+    fn sunspot_lags_due_to_network() {
+        let p = simulate(&ScheduleConfig::paper_section6(System::Perlmutter));
+        let s = simulate(&ScheduleConfig::paper_section6(System::Sunspot));
+        // Sunspot total is slower despite similar GPU throughput.
+        assert!(s.total_seconds > p.total_seconds);
+        // And the gap is communication: Sunspot spends a larger share of
+        // the finest level in exchange.
+        let share = |r: &SimResult| r.levels[0].op("exchange") / r.levels[0].total_seconds;
+        assert!(share(&s) > share(&p));
+    }
+}

@@ -1,0 +1,566 @@
+//! The geometric multigrid solver: Algorithm 1 (solve loop) and
+//! Algorithm 2 (V-cycle) from the paper, distributed over the rank runtime.
+
+use crate::level::{interpolation_increment, restriction, Level};
+use crate::ops::{exchange_b, exchange_x, max_norm_residual};
+use crate::problem::PoissonProblem;
+use crate::smoother::Smoother;
+use crate::timers::OpTimer;
+use gmg_brick::{BrickOrdering, BrickedField};
+use gmg_comm::runtime::RankCtx;
+use gmg_mesh::Decomposition;
+#[cfg(test)]
+use gmg_mesh::Point3;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Solver configuration (the artifact's command-line parameters).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// V-cycle depth (`-l 6` in the artifact: levels 0..=5).
+    pub num_levels: usize,
+    /// Smooth iterations per level on both sweeps (12 in the paper).
+    pub max_smooths: usize,
+    /// Smooth iterations of the bottom solver (100 in the paper).
+    pub bottom_smooths: usize,
+    /// Convergence: max-norm residual threshold (1e-10 in the paper).
+    pub tolerance: f64,
+    /// Maximum V-cycles (`-n 20`).
+    pub max_vcycles: usize,
+    /// Deep-ghost communication-avoiding smoothing (Section V).
+    pub communication_avoiding: bool,
+    /// Brick side (8 on Perlmutter/Frontier, 4 on Sunspot).
+    pub brick_dim: i64,
+    /// Physical brick ordering.
+    pub ordering: BrickOrdering,
+    /// Smoother (the paper uses point Jacobi; alternatives are the
+    /// paper's stated future work).
+    pub smoother: Smoother,
+    /// Cycle index γ: 1 = V-cycle (the paper), 2 = W-cycle.
+    pub cycle_gamma: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl SolverConfig {
+    /// The paper's configuration for the 8-node experiments, scaled-down
+    /// brick-compatible defaults.
+    pub fn paper_default() -> Self {
+        Self {
+            num_levels: 6,
+            max_smooths: 12,
+            bottom_smooths: 100,
+            tolerance: 1e-10,
+            max_vcycles: 20,
+            communication_avoiding: true,
+            brick_dim: 8,
+            ordering: BrickOrdering::SurfaceMajor,
+            smoother: Smoother::Jacobi,
+            cycle_gamma: 1,
+        }
+    }
+
+    /// A small configuration suitable for tests: shallower hierarchy,
+    /// smaller bricks.
+    pub fn test_default() -> Self {
+        Self {
+            num_levels: 3,
+            max_smooths: 8,
+            bottom_smooths: 50,
+            tolerance: 1e-9,
+            max_vcycles: 30,
+            communication_avoiding: true,
+            brick_dim: 4,
+            ordering: BrickOrdering::SurfaceMajor,
+            smoother: Smoother::Jacobi,
+            cycle_gamma: 1,
+        }
+    }
+}
+
+/// Result of a solve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// V-cycles executed.
+    pub vcycles: usize,
+    /// Residual max-norm after each V-cycle (index 0 = initial residual).
+    pub residual_history: Vec<f64>,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Wall-clock seconds of the solve loop on this rank.
+    pub total_seconds: f64,
+}
+
+impl SolveStats {
+    /// Final residual.
+    pub fn final_residual(&self) -> f64 {
+        *self.residual_history.last().expect("history non-empty")
+    }
+
+    /// Geometric-mean residual reduction factor per V-cycle.
+    pub fn mean_reduction(&self) -> f64 {
+        let h = &self.residual_history;
+        if h.len() < 2 || h[0] == 0.0 {
+            return 0.0;
+        }
+        (h[h.len() - 1] / h[0]).powf(1.0 / (h.len() - 1) as f64)
+    }
+}
+
+/// One rank's multigrid solver state.
+pub struct GmgSolver {
+    pub problem: PoissonProblem,
+    pub config: SolverConfig,
+    pub levels: Vec<Level>,
+    pub timers: OpTimer,
+    rank: usize,
+    tag_counter: u64,
+}
+
+impl GmgSolver {
+    /// Build the hierarchy for `rank` of `decomp` (the finest-level
+    /// decomposition) and initialize the Poisson right-hand side —
+    /// including its analytically-known ghost values, which is what lets
+    /// level 0 skip a `b` exchange.
+    pub fn new(decomp: Decomposition, rank: usize, config: SolverConfig) -> Self {
+        let n = decomp.domain().extent();
+        assert_eq!(n.x, n.y, "cubic domains only");
+        assert_eq!(n.x, n.z, "cubic domains only");
+        let problem = PoissonProblem::new(n.x);
+        let mut levels = Vec::with_capacity(config.num_levels);
+        let mut d = decomp;
+        for li in 0..config.num_levels {
+            let e = d.sub_extent();
+            // Bricks shrink with the subdomain on very coarse levels so the
+            // hierarchy can go as deep as the geometry allows.
+            let bd = config.brick_dim.min(e.x).min(e.y).min(e.z);
+            for a in 0..3 {
+                assert_eq!(
+                    e[a] % bd,
+                    0,
+                    "level {li} subdomain {e:?} not brick-aligned (brick {bd})"
+                );
+            }
+            levels.push(Level::new(
+                &problem,
+                d.clone(),
+                rank,
+                li,
+                bd,
+                config.ordering,
+            ));
+            if li + 1 < config.num_levels {
+                d = d.coarsen(2);
+            }
+        }
+        // Fill b on the finest level everywhere (owned + ghost shell),
+        // exploiting periodicity of the analytic right-hand side.
+        let dom = levels[0].decomp.domain().extent();
+        let pr = problem;
+        levels[0].b = BrickedField::from_fn(levels[0].layout.clone(), move |p| {
+            pr.rhs(p.rem_euclid(dom))
+        });
+        Self {
+            problem,
+            config,
+            levels,
+            timers: OpTimer::new(),
+            rank,
+            tag_counter: 0,
+        }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn next_tag(&mut self) -> u64 {
+        self.tag_counter += 1;
+        self.tag_counter
+    }
+
+    /// Advance and return the exchange tag counter (shared with the FMG
+    /// driver in [`crate::fmg`]).
+    pub(crate) fn bump_tag(&mut self) -> u64 {
+        self.next_tag()
+    }
+
+    /// Run the bottom relaxation at the coarsest level (used by both the
+    /// μ-cycle and the FMG driver).
+    pub(crate) fn bottom_solve(&mut self, ctx: &mut RankCtx) {
+        let top = self.config.num_levels - 1;
+        self.smooth_pass(ctx, top, self.config.bottom_smooths, false);
+    }
+
+    /// Run one μ-cycle rooted at `level` (used by the FMG driver).
+    pub(crate) fn cycle_at(&mut self, ctx: &mut RankCtx, level: usize) {
+        self.mu_cycle(ctx, level);
+    }
+
+    /// One smoothing pass at level `li`: `n` iterations of
+    /// `exchange → applyOp → smooth(+residual)`, with the exchange elided
+    /// while the communication-avoiding ghost margin lasts. Smoothers that
+    /// make two neighbor-reading passes per iteration (red-black variants)
+    /// consume two margin cells per iteration.
+    fn smooth_pass(&mut self, ctx: &mut RankCtx, li: usize, n: usize, fused: bool) {
+        let ca = self.config.communication_avoiding;
+        let smoother = self.config.smoother;
+        let need = smoother.margin_per_iteration();
+        for _ in 0..n {
+            if !ca || self.levels[li].margin < need {
+                let tag = self.next_tag();
+                let level = &mut self.levels[li];
+                let t0 = Instant::now();
+                exchange_x(ctx, level, tag);
+                self.timers
+                    .record(li, "exchange", t0.elapsed().as_secs_f64());
+            }
+            let level = &mut self.levels[li];
+            // CA mode works on the shrinking valid region; otherwise the
+            // smoother gets just enough halo to update every owned cell.
+            let region = if ca {
+                level.owned.grow(level.margin - 1)
+            } else {
+                level.owned.grow(need - 1)
+            };
+            if let Smoother::Jacobi = smoother {
+                // The paper's path, with the paper's split timer rows.
+                let t0 = Instant::now();
+                level.apply_op(region);
+                let t1 = Instant::now();
+                if fused {
+                    level.smooth_residual(region);
+                } else {
+                    level.smooth(region);
+                }
+                let t2 = Instant::now();
+                self.timers
+                    .record(li, "applyOp", (t1 - t0).as_secs_f64());
+                self.timers.record(
+                    li,
+                    if fused { "smooth+residual" } else { "smooth" },
+                    (t2 - t1).as_secs_f64(),
+                );
+            } else {
+                let t0 = Instant::now();
+                smoother.apply(level, region, fused);
+                self.timers
+                    .record(li, smoother.name(), t0.elapsed().as_secs_f64());
+            }
+            self.levels[li].margin -= need;
+        }
+    }
+
+    /// One multigrid cycle (Algorithm 2 for γ = 1; the recursive μ-cycle
+    /// generalization visits each coarser level γ times, giving W-cycles
+    /// at γ = 2).
+    pub fn vcycle(&mut self, ctx: &mut RankCtx) {
+        self.mu_cycle(ctx, 0);
+    }
+
+    fn mu_cycle(&mut self, ctx: &mut RankCtx, l: usize) {
+        let top = self.config.num_levels - 1;
+        if l == top {
+            // Bottom solver: plain point relaxation.
+            self.smooth_pass(ctx, top, self.config.bottom_smooths, false);
+            return;
+        }
+        let smooths = self.config.max_smooths;
+        // Pre-smooth (computes the fused residual for restriction).
+        self.smooth_pass(ctx, l, smooths, true);
+        let (fine_part, coarse_part) = self.levels.split_at_mut(l + 1);
+        let t0 = Instant::now();
+        restriction(&fine_part[l], &mut coarse_part[0]);
+        let t1 = Instant::now();
+        coarse_part[0].init_zero();
+        let t2 = Instant::now();
+        self.timers
+            .record(l, "restriction", (t1 - t0).as_secs_f64());
+        self.timers
+            .record(l + 1, "initZero", (t2 - t1).as_secs_f64());
+        if self.config.communication_avoiding {
+            // Restriction fills b on owned cells only; CA smoothing reads
+            // b in the ghost shell.
+            let tag = self.next_tag();
+            let t0 = Instant::now();
+            exchange_b(ctx, &mut self.levels[l + 1], tag);
+            self.timers
+                .record(l + 1, "exchange", t0.elapsed().as_secs_f64());
+        }
+        // Recurse γ times: the coarse correction continues from its
+        // previous iterate on repeat visits (classical μ-cycle).
+        for _ in 0..self.config.cycle_gamma.max(1) {
+            self.mu_cycle(ctx, l + 1);
+        }
+        let (fine_part, coarse_part) = self.levels.split_at_mut(l + 1);
+        let t0 = Instant::now();
+        interpolation_increment(&coarse_part[0], &mut fine_part[l]);
+        self.timers
+            .record(l, "interpolation+increment", t0.elapsed().as_secs_f64());
+        // Post-smooth.
+        self.smooth_pass(ctx, l, smooths, true);
+    }
+
+    /// Algorithm 1: V-cycle until the global max-norm residual drops below
+    /// the tolerance (or `max_vcycles` is hit).
+    pub fn solve(&mut self, ctx: &mut RankCtx) -> SolveStats {
+        let t_start = Instant::now();
+        let tag = self.next_tag();
+        let r0 = max_norm_residual(ctx, &mut self.levels[0], tag);
+        let mut history = vec![r0];
+        let mut converged = r0 < self.config.tolerance;
+        let mut vcycles = 0;
+        while !converged && vcycles < self.config.max_vcycles {
+            self.vcycle(ctx);
+            vcycles += 1;
+            let tag = self.next_tag();
+            let r = max_norm_residual(ctx, &mut self.levels[0], tag);
+            history.push(r);
+            converged = r < self.config.tolerance;
+        }
+        SolveStats {
+            vcycles,
+            residual_history: history,
+            converged,
+            total_seconds: t_start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Max-norm error of the current iterate against the exact *discrete*
+    /// solution (the separable sine divided by the discrete eigenvalue).
+    pub fn max_error_vs_discrete(&self) -> f64 {
+        let lambda = self.problem.discrete_eigenvalue();
+        let pr = self.problem;
+        let dom = self.levels[0].decomp.domain().extent();
+        self.levels[0].max_error(move |p| pr.rhs(p.rem_euclid(dom)) / lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmg_comm::runtime::RankWorld;
+    use gmg_mesh::Box3;
+
+    fn solve_with(
+        n: i64,
+        grid: Point3,
+        config: SolverConfig,
+    ) -> Vec<(SolveStats, f64)> {
+        let decomp = Decomposition::new(Box3::cube(n), grid);
+        let ranks = decomp.num_ranks();
+        let d = &decomp;
+        RankWorld::run(ranks, move |mut ctx| {
+            let mut s = GmgSolver::new(d.clone(), ctx.rank(), config);
+            let stats = s.solve(&mut ctx);
+            let err = s.max_error_vs_discrete();
+            (stats, err)
+        })
+    }
+
+    #[test]
+    fn single_rank_solve_converges() {
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 3;
+        cfg.tolerance = 1e-9;
+        let out = solve_with(32, Point3::splat(1), cfg);
+        let (stats, err) = &out[0];
+        assert!(stats.converged, "history {:?}", stats.residual_history);
+        assert!(stats.vcycles <= 20, "took {} cycles", stats.vcycles);
+        // Residual decreases monotonically.
+        for w in stats.residual_history.windows(2) {
+            assert!(w[1] < w[0], "history {:?}", stats.residual_history);
+        }
+        // The iterate approaches the exact discrete solution.
+        assert!(*err < 1e-10, "discrete error {err}");
+    }
+
+    #[test]
+    fn w_cycle_converges_at_least_as_fast_per_cycle() {
+        // With weak smoothing, the W-cycle's double coarse visits must
+        // improve (or match) the per-cycle reduction factor.
+        let mk = |gamma: usize| {
+            let mut cfg = SolverConfig::test_default();
+            cfg.num_levels = 3;
+            cfg.max_smooths = 2;
+            cfg.bottom_smooths = 10;
+            cfg.max_vcycles = 4;
+            cfg.tolerance = 0.0;
+            cfg.cycle_gamma = gamma;
+            solve_with(32, Point3::splat(1), cfg)[0].0.mean_reduction()
+        };
+        let v = mk(1);
+        let w = mk(2);
+        assert!(w <= v * 1.02, "W-cycle {w:.3} vs V-cycle {v:.3}");
+    }
+
+    #[test]
+    fn w_cycle_distributed_matches_single_rank() {
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 2;
+        cfg.cycle_gamma = 2;
+        cfg.max_vcycles = 3;
+        cfg.tolerance = 0.0;
+        let single = solve_with(16, Point3::splat(1), cfg);
+        let multi = solve_with(16, Point3::splat(2), cfg);
+        for (a, b) in single[0]
+            .0
+            .residual_history
+            .iter()
+            .zip(&multi[0].0.residual_history)
+        {
+            assert!((a - b).abs() <= 1e-9 * a.max(1e-30), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn alternative_smoothers_converge_distributed() {
+        use crate::smoother::Smoother;
+        for sm in [
+            Smoother::WeightedJacobi { omega: 0.7 },
+            Smoother::RedBlackGaussSeidel,
+            Smoother::Sor { omega: 1.2 },
+        ] {
+            let mut cfg = SolverConfig::test_default();
+            cfg.num_levels = 2;
+            cfg.smoother = sm;
+            cfg.max_vcycles = 20;
+            cfg.tolerance = 1e-8;
+            let out = solve_with(16, Point3::new(2, 1, 1), cfg);
+            assert!(
+                out[0].0.converged,
+                "{}: {:?}",
+                sm.name(),
+                out[0].0.residual_history
+            );
+            // And reaches the right answer.
+            assert!(out[0].1 < 1e-7, "{}: error {}", sm.name(), out[0].1);
+        }
+    }
+
+    #[test]
+    fn gs_smoother_agrees_across_rank_counts() {
+        use crate::smoother::Smoother;
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 2;
+        cfg.smoother = Smoother::RedBlackGaussSeidel;
+        cfg.max_vcycles = 3;
+        cfg.tolerance = 0.0;
+        let h1 = solve_with(16, Point3::splat(1), cfg)[0].0.residual_history.clone();
+        let h8 = solve_with(16, Point3::splat(2), cfg)[0].0.residual_history.clone();
+        for (a, b) in h1.iter().zip(&h8) {
+            assert!((a - b).abs() <= 1e-9 * a.max(1e-30), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn multi_rank_solve_matches_single_rank() {
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 2;
+        cfg.max_vcycles = 6;
+        cfg.tolerance = 0.0; // run exactly 6 cycles
+        let single = solve_with(16, Point3::splat(1), cfg);
+        let multi = solve_with(16, Point3::splat(2), cfg);
+        let h1 = &single[0].0.residual_history;
+        let h8 = &multi[0].0.residual_history;
+        assert_eq!(h1.len(), h8.len());
+        for (a, b) in h1.iter().zip(h8) {
+            assert!(
+                (a - b).abs() <= 1e-9 * a.max(1e-30),
+                "histories diverge: {a} vs {b}"
+            );
+        }
+        // All ranks agree on the history.
+        for r in &multi[1..] {
+            assert_eq!(r.0.residual_history, *h8);
+        }
+    }
+
+    #[test]
+    fn ca_and_non_ca_produce_identical_numerics() {
+        let mut ca = SolverConfig::test_default();
+        ca.num_levels = 2;
+        ca.max_vcycles = 4;
+        ca.tolerance = 0.0;
+        let mut plain = ca;
+        plain.communication_avoiding = false;
+        let a = solve_with(16, Point3::new(2, 1, 1), ca);
+        let b = solve_with(16, Point3::new(2, 1, 1), plain);
+        for (x, y) in a[0].0.residual_history.iter().zip(&b[0].0.residual_history) {
+            assert!((x - y).abs() <= 1e-10 * x.max(1e-30), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn vcycle_beats_smoothing_alone() {
+        // A 2-level V-cycle must reduce the residual much faster than the
+        // same number of fine-grid smooths.
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 2;
+        cfg.max_vcycles = 3;
+        cfg.tolerance = 0.0;
+        let mg = solve_with(16, Point3::splat(1), cfg);
+        let mut flat = cfg;
+        flat.num_levels = 1;
+        flat.bottom_smooths = 2 * cfg.max_smooths + cfg.bottom_smooths; // same work at level 0
+        let sm = solve_with(16, Point3::splat(1), flat);
+        let mg_red = mg[0].0.final_residual() / mg[0].0.residual_history[0];
+        let sm_red = sm[0].0.final_residual() / sm[0].0.residual_history[0];
+        assert!(
+            mg_red < sm_red * 0.5,
+            "multigrid {mg_red:.2e} vs smoothing {sm_red:.2e}"
+        );
+    }
+
+    #[test]
+    fn timers_populated_per_level() {
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 2;
+        cfg.max_vcycles = 1;
+        cfg.tolerance = 0.0;
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(1));
+        let d = &decomp;
+        RankWorld::run(1, move |mut ctx| {
+            let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+            s.solve(&mut ctx);
+            assert!(s.timers.count(0, "applyOp") >= 2 * cfg.max_smooths);
+            assert!(s.timers.count(0, "smooth+residual") >= 2 * cfg.max_smooths);
+            assert_eq!(s.timers.count(1, "smooth"), cfg.bottom_smooths);
+            assert_eq!(s.timers.count(0, "restriction"), 1);
+            assert_eq!(s.timers.count(0, "interpolation+increment"), 1);
+            assert!(s.timers.count(0, "exchange") > 0);
+            assert_eq!(s.timers.count(1, "initZero"), 1);
+        });
+    }
+
+    #[test]
+    fn brick_dim_8_also_works() {
+        let mut cfg = SolverConfig::test_default();
+        cfg.brick_dim = 8;
+        cfg.num_levels = 3; // level 2 is 8³ — exactly one brick
+        cfg.max_vcycles = 15;
+        cfg.tolerance = 1e-8;
+        let out = solve_with(32, Point3::splat(1), cfg);
+        assert!(out[0].0.converged, "history {:?}", out[0].0.residual_history);
+    }
+
+    #[test]
+    fn lexicographic_ordering_same_numerics() {
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 2;
+        cfg.max_vcycles = 3;
+        cfg.tolerance = 0.0;
+        let mut lex = cfg;
+        lex.ordering = BrickOrdering::Lexicographic;
+        let a = solve_with(16, Point3::new(1, 2, 1), cfg);
+        let b = solve_with(16, Point3::new(1, 2, 1), lex);
+        for (x, y) in a[0].0.residual_history.iter().zip(&b[0].0.residual_history) {
+            assert!((x - y).abs() <= 1e-12 * x.max(1e-30));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # gmg-stencil — stencil DSL, analysis, and executors
+//!
+//! BrickLib couples its brick layout to a Python-syntax stencil DSL and a
+//! vector code generator (paper Figure 1). This crate is the Rust analog:
+//!
+//! * [`expr`] — an expression-builder DSL. The paper's 7-point example
+//!   translates directly:
+//!
+//! ```
+//! use gmg_stencil::expr::StencilDef;
+//!
+//! let apply_op = StencilDef::build("applyOp", |b| {
+//!     let x = b.input("x");
+//!     let alpha = b.coeff("alpha");
+//!     let beta = b.coeff("beta");
+//!     let calc = alpha * x.at(0, 0, 0)
+//!         + beta
+//!             * ((x.at(1, 0, 0) + x.at(-1, 0, 0))
+//!                 + (x.at(0, 1, 0) + x.at(0, -1, 0))
+//!                 + (x.at(0, 0, 1) + x.at(0, 0, -1)));
+//!     b.assign("Ax", calc);
+//! });
+//! assert_eq!(apply_op.analysis().flops_per_point, 8);
+//! ```
+//!
+//! * [`analysis`] — static analysis of a stencil definition: FLOPs per
+//!   point, distinct reads, ghost radius, and the theoretical (compulsory
+//!   cache miss) arithmetic intensity that regenerates the paper's Table IV.
+//! * [`exec_array`] / [`exec_brick`] — reference interpreters plus the
+//!   hand-specialized fast kernels that play the role of BrickLib's
+//!   generated code (tight per-brick inner loops with neighbor indirection
+//!   only on brick faces).
+//! * [`ops`] — the canonical V-cycle operator definitions and their traffic
+//!   metadata used by the performance models.
+
+pub mod analysis;
+pub mod exec_array;
+pub mod exec_brick;
+pub mod expr;
+pub mod ops;
+
+pub use analysis::StencilAnalysis;
+pub use expr::{Expr, StencilDef};
+pub use ops::{OpKind, OpTraffic, ALL_OPS};

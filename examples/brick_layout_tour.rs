@@ -1,0 +1,66 @@
+//! A guided tour of fine-grain data blocking: what the brick layout looks
+//! like, why the surface-major ordering makes communication pack-free, and
+//! how the stencil DSL describes the paper's kernels.
+//!
+//! ```sh
+//! cargo run --release --example brick_layout_tour
+//! ```
+
+use gmg_brick::{BrickLayout, SlotClass};
+use gmg_mesh::ghost::DIRECTIONS_26;
+use gmg_repro::prelude::*;
+use gmg_stencil::ops::apply_op_def;
+
+fn main() {
+    // A 64³ subdomain of 8³ bricks with a one-brick ghost shell — the
+    // paper's configuration on Perlmutter and Frontier.
+    let layout = BrickLayout::new(Box3::cube(64), 8, 1, BrickOrdering::SurfaceMajor);
+    println!("cells:         {:?}", layout.cell_box());
+    println!("bricks:        {:?} ({} owned)", layout.brick_box(), layout.brick_box().volume());
+    println!("storage slots: {} ({} ghost bricks)", layout.num_slots(),
+        layout.num_slots() - layout.brick_box().volume());
+    println!("ghost depth:   {} cells -> up to {} smooths per exchange",
+        layout.ghost_cells(), layout.ghost_cells());
+
+    // Classification census.
+    let (mut ghost, mut surface, mut interior) = (0, 0, 0);
+    for s in 0..layout.num_slots() as u32 {
+        match layout.class_of_slot(s) {
+            SlotClass::Ghost(_) => ghost += 1,
+            SlotClass::Surface(_) => surface += 1,
+            SlotClass::Interior => interior += 1,
+        }
+    }
+    println!("classes:       {ghost} ghost, {surface} surface, {interior} interior");
+
+    // Pack-free property: each receive region is one contiguous slot run.
+    println!("\nhalo exchange structure (surface-major ordering):");
+    let mut send_runs_total = 0;
+    for dir in DIRECTIONS_26 {
+        send_runs_total += BrickLayout::contiguous_runs(&layout.send_slots(dir)).len();
+        let recv = BrickLayout::contiguous_runs(&layout.ghost_slots(dir)).len();
+        assert_eq!(recv, 1, "receives are pack-free");
+    }
+    println!("  26 receive regions: 26 contiguous runs (zero unpacking)");
+    println!("  26 send regions:    {send_runs_total} contiguous runs");
+
+    let lex = BrickLayout::new(Box3::cube(64), 8, 1, BrickOrdering::Lexicographic);
+    let lex_runs: usize = DIRECTIONS_26
+        .iter()
+        .map(|&d| {
+            BrickLayout::contiguous_runs(&lex.ghost_slots(d)).len()
+                + BrickLayout::contiguous_runs(&lex.send_slots(d)).len()
+        })
+        .sum();
+    println!("  lexicographic ordering needs {lex_runs} runs for the same exchange");
+
+    // The stencil DSL (paper Figure 1).
+    let def = apply_op_def();
+    let a = def.analysis();
+    println!("\nstencil DSL: {} = {:?} over {:?}", def.name, def.outputs, def.inputs);
+    println!("  flops/point:        {}", a.flops_per_point);
+    println!("  distinct reads:     {}", a.distinct_refs);
+    println!("  ghost radius:       {:?}", a.radius);
+    println!("  theoretical AI:     {:.2} FLOP/B (paper Table IV: 0.50)", a.theoretical_ai());
+    println!("  reuse factor:       {:.0}x (array common subexpressions)", a.reuse_factor());
+}

@@ -1,0 +1,72 @@
+//! Performance-portability report: Tables III, IV, V and the Figure 7
+//! potential-speedup data, printed from the machine models.
+//!
+//! ```sh
+//! cargo run --release --example portability_report
+//! ```
+
+use gmg_machine::portability::{potential_speedup, EfficiencyBasis, PortabilityTable};
+use gmg_repro::prelude::*;
+use gmg_stencil::ALL_OPS;
+
+fn print_phi_table(title: &str, basis: EfficiencyBasis) -> f64 {
+    let t = PortabilityTable::from_models(basis);
+    println!("\n{title}");
+    println!(
+        "{:<26} {:>6} {:>8} {:>6} {:>7}",
+        "operation", "A100", "MI250X", "PVC", "Φ(op)"
+    );
+    for r in &t.rows {
+        println!(
+            "{:<26} {:>5.0}% {:>7.0}% {:>5.0}% {:>6.0}%",
+            r.op.name(),
+            r.efficiency[0] * 100.0,
+            r.efficiency[1] * 100.0,
+            r.efficiency[2] * 100.0,
+            r.per_op_phi * 100.0
+        );
+    }
+    println!("overall Φ = {:.1}%", t.overall_phi * 100.0);
+    t.overall_phi
+}
+
+fn main() {
+    println!("== Theoretical arithmetic intensity (Table IV) ==");
+    for op in ALL_OPS {
+        println!(
+            "  {:<26} {:.3} FLOP/B",
+            op.name(),
+            op.traffic().theoretical_ai()
+        );
+    }
+
+    let phi_roofline = print_phi_table(
+        "== Φ, fraction of roofline (Table III) ==",
+        EfficiencyBasis::Roofline,
+    );
+    let phi_ai = print_phi_table(
+        "== Φ, fraction of theoretical AI (Table V) ==",
+        EfficiencyBasis::TheoreticalAi,
+    );
+
+    println!("\n== Potential speedups (Figure 7) ==");
+    for sys in System::ALL {
+        let gpu = sys.gpu();
+        print!("  {:<12}", format!("{sys:?}"));
+        for op in ALL_OPS {
+            let e = gpu.op_efficiency(op);
+            print!(
+                " {}:{:.1}x",
+                op.name().split('+').next().unwrap(),
+                potential_speedup(e.roofline_fraction, e.ai_fraction)
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "\npaper headlines: Φ_roofline ≈ 73% (ours {:.0}%), Φ_AI ≈ 92% (ours {:.0}%)",
+        phi_roofline * 100.0,
+        phi_ai * 100.0
+    );
+}

@@ -1,0 +1,70 @@
+//! Scaling study: weak and strong scaling curves from the calibrated
+//! machine + network models (the paper's Figures 8 and 9 workflow).
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use gmg_repro::prelude::*;
+
+fn main() {
+    println!("Weak scaling — 512^3 per rank, full nodes");
+    println!("(one rank = one A100 / MI250X GCD / PVC tile)\n");
+    for sys in System::ALL {
+        let nodes_sweep: Vec<usize> = match sys {
+            System::Sunspot => vec![1, 2, 4, 8, 16],
+            _ => vec![2, 8, 32, 128],
+        };
+        println!("{sys:?}:");
+        let mut baseline: Option<f64> = None;
+        for nodes in nodes_sweep {
+            let mut cfg = ScheduleConfig::paper_section6(sys);
+            cfg.nodes = nodes;
+            cfg.ranks_per_node = sys.ranks_per_node();
+            let r = simulate(&cfg);
+            let per_rank = r.gstencil_per_s / r.nranks as f64;
+            let eff = baseline.map_or(1.0, |b| per_rank / b);
+            if baseline.is_none() {
+                baseline = Some(per_rank);
+            }
+            println!(
+                "  {:>4} nodes ({:>4} ranks): {:>9.2} GStencil/s, efficiency {:>5.1}%",
+                nodes,
+                r.nranks,
+                r.gstencil_per_s,
+                eff * 100.0
+            );
+        }
+        println!();
+    }
+
+    println!("Strong scaling — fixed 1024^3 on Perlmutter");
+    let mut baseline: Option<(usize, f64)> = None;
+    for nodes in [2usize, 8, 32, 128] {
+        let ranks = nodes * 4;
+        let per = 1024.0 / (ranks as f64).cbrt();
+        let per = (per as u64).next_power_of_two() as i64;
+        let mut cfg = ScheduleConfig::paper_section6(System::Perlmutter);
+        cfg.nodes = nodes;
+        cfg.ranks_per_node = 4;
+        cfg.sub_extent = Point3::splat(per);
+        cfg.num_levels = 6.min((per as f64).log2() as usize);
+        let r = simulate(&cfg);
+        let eff = baseline.map_or(1.0, |(r0, t0)| {
+            (t0 / r.total_seconds) / (r.nranks as f64 / r0 as f64)
+        });
+        if baseline.is_none() {
+            baseline = Some((r.nranks, r.total_seconds));
+        }
+        println!(
+            "  {:>4} nodes ({:>4} ranks, {:>4}^3/rank): {:>9.2} GStencil/s, efficiency {:>5.1}%",
+            nodes,
+            r.nranks,
+            per,
+            r.gstencil_per_s,
+            eff * 100.0
+        );
+    }
+    println!("\nStrong-scaling efficiency collapses as per-rank levels go latency-bound —");
+    println!("the paper's Figure 9 'nose dive'.");
+}

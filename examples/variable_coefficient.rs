@@ -1,0 +1,106 @@
+//! Variable-coefficient diffusion with the stencil DSL and the bricked
+//! executor — the "more complicated stencils" the paper says BrickLib
+//! generates beyond the constant-coefficient model problem.
+//!
+//! ```sh
+//! cargo run --release --example variable_coefficient
+//! ```
+//!
+//! Builds the operator `(A x)_c = (1/h²)·Σ_f ½(β_c + β_nbr)(x_nbr − x_c)`
+//! with a smoothly varying coefficient field, checks the fast bricked
+//! kernel against the DSL interpreter, and damped-Jacobi-smooths a
+//! diffusion problem to show the operator is usable end to end.
+
+use gmg_repro::prelude::*;
+use gmg_repro::stencil::exec_brick::{apply_star7_var_bricked, run_stencil_bricked};
+use gmg_repro::stencil::ops::apply_op_var_def;
+use std::f64::consts::PI;
+use std::sync::Arc;
+
+fn main() {
+    let n = 32i64;
+    let h = 1.0 / n as f64;
+    let inv_h2 = 1.0 / (h * h);
+    let layout = Arc::new(BrickLayout::new(
+        Box3::cube(n),
+        8,
+        1,
+        BrickOrdering::SurfaceMajor,
+    ));
+    let wrap = move |p: Point3| p.rem_euclid(Point3::splat(n));
+
+    // A smooth, positive, periodic coefficient field: β = 1 + ½·sin(2πx)·cos(2πy).
+    let beta = BrickedField::from_fn(layout.clone(), move |p| {
+        let q = wrap(p);
+        let c = |i: i64| (i as f64 + 0.5) * h;
+        1.0 + 0.5 * (2.0 * PI * c(q.x)).sin() * (2.0 * PI * c(q.y)).cos()
+    });
+    let rhs = BrickedField::from_fn(layout.clone(), move |p| {
+        let q = wrap(p);
+        let c = |i: i64| (i as f64 + 0.5) * h;
+        (2.0 * PI * c(q.x)).sin() * (2.0 * PI * c(q.y)).sin() * (2.0 * PI * c(q.z)).sin()
+    });
+
+    // 1. The DSL definition and its analysis.
+    let def = apply_op_var_def();
+    let a = def.analysis();
+    println!("DSL operator {:?}:", def.name);
+    println!("  inputs:         {:?}", def.inputs);
+    println!("  flops/point:    {}", a.flops_per_point);
+    println!("  distinct reads: {}", a.distinct_refs);
+    println!("  theoretical AI: {:.3} FLOP/B", a.theoretical_ai());
+
+    // 2. Fast kernel vs interpreter on a test field.
+    let x0 = BrickedField::from_fn(layout.clone(), move |p| {
+        let q = wrap(p);
+        ((q.x * 3 + q.y * 5 + q.z * 7) % 11) as f64 * 0.1
+    });
+    let mut fast = BrickedField::new(layout.clone());
+    apply_star7_var_bricked(&mut fast, &x0, &beta, inv_h2, Box3::cube(n));
+    let mut reference = BrickedField::new(layout.clone());
+    run_stencil_bricked(
+        &def,
+        &[&x0, &beta],
+        &[inv_h2],
+        &mut [&mut reference],
+        Box3::cube(n),
+    );
+    let max_diff = Box3::cube(n)
+        .iter()
+        .map(|p| (fast.get(p) - reference.get(p)).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nfast kernel vs DSL interpreter: max |Δ| = {max_diff:.3e}");
+    assert!(max_diff < 1e-9);
+
+    // 3. Damped Jacobi on the variable-coefficient problem: A x = b.
+    //    Diagonal of A is −(1/h²)·Σ_f β_f ≤ −6·β_min/h²; a conservative
+    //    damping uses β_max.
+    let beta_max = 1.5;
+    let gamma = h * h / (12.0 * beta_max);
+    let mut x = BrickedField::new(layout.clone());
+    let mut ax = BrickedField::new(layout.clone());
+    let residual_norm = |x: &mut BrickedField, ax: &mut BrickedField| {
+        for dir in gmg_repro::mesh::ghost::DIRECTIONS_26 {
+            x.copy_ghost_from_self(dir, dir * (n / 8));
+        }
+        apply_star7_var_bricked(ax, x, &beta, inv_h2, Box3::cube(n));
+        let mut m = 0.0f64;
+        Box3::cube(n).for_each(|p| m = m.max((rhs.get(p) - ax.get(p)).abs()));
+        m
+    };
+    let r0 = residual_norm(&mut x, &mut ax);
+    for sweep in 0..400 {
+        let _ = sweep;
+        // x += γ(Ax − b)
+        let ax_s = ax.as_slice().to_vec();
+        let rhs_s = rhs.as_slice();
+        for (xi, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v += gamma * (ax_s[xi] - rhs_s[xi]);
+        }
+        let _ = residual_norm(&mut x, &mut ax);
+    }
+    let r_final = residual_norm(&mut x, &mut ax);
+    println!("\nJacobi on variable-coefficient Poisson: |r|_inf {r0:.3e} -> {r_final:.3e}");
+    assert!(r_final < 0.5 * r0, "smoothing must make progress");
+    println!("\nOK — non-constant coefficients work through the same DSL and brick pipeline.");
+}

@@ -1,0 +1,180 @@
+//! Property-based tests over the core data structures and invariants.
+
+use gmg_repro::prelude::*;
+use gmg_repro::stencil::exec_array::run_stencil_array;
+use gmg_repro::stencil::exec_brick::run_stencil_bricked;
+use gmg_repro::stencil::expr::StencilDef;
+use gmg_stencil::expr::ExprHandle;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn field_fn(seed: i64) -> impl Fn(Point3) -> f64 + Sync + Copy {
+    move |p: Point3| {
+        let h = p
+            .x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(p.y.wrapping_mul(1442695040888963407))
+            .wrapping_add(p.z.wrapping_mul(seed | 1));
+        ((h >> 33) % 1_000) as f64 / 257.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bricked and conventional storage agree after a roundtrip, for any
+    /// compatible (n, brick size, ordering).
+    #[test]
+    fn brick_array_roundtrip(
+        bd in prop::sample::select(vec![1i64, 2, 4, 8]),
+        mult in 2i64..5,
+        lex in any::<bool>(),
+        seed in any::<i64>(),
+    ) {
+        let n = bd * mult;
+        let ord = if lex { BrickOrdering::Lexicographic } else { BrickOrdering::SurfaceMajor };
+        let layout = Arc::new(BrickLayout::new(Box3::cube(n), bd, 1, ord));
+        let f = BrickedField::from_fn(layout.clone(), field_fn(seed));
+        let a = f.to_array3();
+        let f2 = BrickedField::from_array3(layout.clone(), &a);
+        let mut ok = true;
+        layout.storage_cell_box().for_each(|p| ok &= f.get(p) == f2.get(p));
+        prop_assert!(ok);
+    }
+
+    /// Array pack/unpack is the identity on any in-bounds region.
+    #[test]
+    fn pack_unpack_identity(
+        lo in 0i64..6,
+        ex in 1i64..6,
+        seed in any::<i64>(),
+    ) {
+        let v = Box3::cube(12);
+        let a = Array3::from_fn(v, 2, field_fn(seed));
+        let region = Box3::new(Point3::splat(lo - 2), Point3::splat(lo - 2 + ex));
+        let region = region.intersect(&a.storage_box());
+        prop_assume!(!region.is_empty());
+        let mut buf = Vec::new();
+        a.pack(region, &mut buf);
+        let mut b = Array3::new(v, 2);
+        b.unpack(region, &buf);
+        let mut ok = true;
+        region.for_each(|p| ok &= a[p] == b[p]);
+        prop_assert!(ok);
+    }
+
+    /// A random radius-1 star stencil evaluates identically over bricked
+    /// and conventional storage.
+    #[test]
+    fn random_stencil_brick_matches_array(
+        coeffs in prop::collection::vec(-3.0f64..3.0, 7),
+        bd in prop::sample::select(vec![2i64, 4]),
+        seed in any::<i64>(),
+    ) {
+        let n = 4 * bd;
+        let offsets = [
+            (0i64, 0i64, 0i64), (1, 0, 0), (-1, 0, 0),
+            (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1),
+        ];
+        let cs = coeffs.clone();
+        let def = StencilDef::build("rand", move |b| {
+            let x = b.input("x");
+            let mut expr: Option<ExprHandle> = None;
+            for (c, (dx, dy, dz)) in cs.iter().zip(offsets) {
+                let term = b.constant(*c) * x.at(dx, dy, dz);
+                expr = Some(match expr {
+                    Some(e) => e + term,
+                    None => term,
+                });
+            }
+            b.assign("y", expr.unwrap());
+        });
+        let v = Box3::cube(n);
+        // Array path.
+        let src_a = Array3::from_fn(v, bd, field_fn(seed));
+        let mut dst_a = Array3::new(v, bd);
+        run_stencil_array(&def, &[&src_a], &[], &mut [&mut dst_a], v);
+        // Brick path.
+        let layout = Arc::new(BrickLayout::new(v, bd, 1, BrickOrdering::SurfaceMajor));
+        let src_b = BrickedField::from_fn(layout.clone(), field_fn(seed));
+        let mut dst_b = BrickedField::new(layout);
+        run_stencil_bricked(&def, &[&src_b], &[], &mut [&mut dst_b], v);
+        let mut max_diff = 0.0f64;
+        v.for_each(|p| max_diff = max_diff.max((dst_a[p] - dst_b.get(p)).abs()));
+        prop_assert!(max_diff < 1e-12, "max diff {max_diff}");
+    }
+
+    /// The latency-throughput fit recovers arbitrary positive (α, β).
+    #[test]
+    fn latency_fit_recovers_parameters(
+        alpha_us in 0.1f64..500.0,
+        beta_g in 0.5f64..200.0,
+    ) {
+        use gmg_repro::machine::LatencyThroughput;
+        let truth = LatencyThroughput::new(alpha_us * 1e-6, beta_g * 1e9);
+        let samples: Vec<(f64, f64)> = (0..8)
+            .map(|i| {
+                let x = 1e3 * 8f64.powi(i);
+                (x, truth.time_s(x))
+            })
+            .collect();
+        let fit = LatencyThroughput::fit_time(&samples);
+        prop_assert!((fit.alpha_s - truth.alpha_s).abs() / truth.alpha_s < 1e-6);
+        prop_assert!((fit.beta - truth.beta).abs() / truth.beta < 1e-6);
+    }
+
+    /// Exchange over any process grid reproduces the periodic image in
+    /// every ghost cell of every rank.
+    #[test]
+    fn exchange_matches_periodic_image(
+        grid in prop::sample::select(vec![
+            Point3::new(1, 1, 1),
+            Point3::new(2, 1, 1),
+            Point3::new(1, 2, 2),
+            Point3::new(2, 2, 2),
+        ]),
+        seed in any::<i64>(),
+    ) {
+        let n = 8i64;
+        let decomp = Decomposition::new(Box3::cube(n), grid);
+        let ranks = decomp.num_ranks();
+        let d = &decomp;
+        let f = field_fn(seed);
+        let oks = RankWorld::run(ranks, move |mut ctx| {
+            let sub = d.subdomain(ctx.rank());
+            let layout = Arc::new(BrickLayout::new(sub, 2, 1, BrickOrdering::SurfaceMajor));
+            let mut field = BrickedField::from_fn(layout.clone(), |p| {
+                if sub.contains(p) { f(p) } else { f64::NAN }
+            });
+            gmg_repro::comm::runtime::exchange_bricked(&mut ctx, d, &mut field, 1);
+            let mut ok = true;
+            layout.storage_cell_box().for_each(|p| {
+                ok &= field.get(p) == f(p.rem_euclid(Point3::splat(n)));
+            });
+            ok
+        });
+        prop_assert!(oks.into_iter().all(|x| x));
+    }
+
+    /// Contiguous-run computation: runs are sorted, disjoint, cover the
+    /// input exactly, and are maximal.
+    #[test]
+    fn contiguous_runs_invariants(mut slots in prop::collection::btree_set(0u32..200, 1..40)) {
+        let v: Vec<u32> = slots.iter().copied().collect();
+        let runs = BrickLayout::contiguous_runs(&v);
+        // Coverage and disjointness.
+        let mut covered = 0usize;
+        for r in &runs {
+            covered += (r.end - r.start) as usize;
+            for s in r.clone() {
+                prop_assert!(slots.remove(&s), "run covers non-member {s}");
+            }
+        }
+        prop_assert_eq!(covered, v.len());
+        prop_assert!(slots.is_empty());
+        // Maximality: adjacent runs are separated by a gap.
+        for w in runs.windows(2) {
+            prop_assert!(w[1].start > w[0].end);
+        }
+    }
+}
