@@ -49,7 +49,14 @@ fn bench_intergrid(c: &mut Criterion) {
     g.sample_size(20);
     let problem = PoissonProblem::new(N);
     let fine_decomp = Decomposition::single(Box3::cube(N));
-    let mut fine = Level::new(&problem, fine_decomp.clone(), 0, 0, 8, BrickOrdering::SurfaceMajor);
+    let mut fine = Level::new(
+        &problem,
+        fine_decomp.clone(),
+        0,
+        0,
+        8,
+        BrickOrdering::SurfaceMajor,
+    );
     fine.r = BrickedField::from_fn(fine.layout.clone(), |p| (p.x ^ p.y ^ p.z) as f64);
     let mut coarse = Level::new(
         &problem,

@@ -42,13 +42,9 @@ fn bench_apply(c: &mut Criterion) {
             let layout = Arc::new(BrickLayout::new(v, bd, 1, BrickOrdering::SurfaceMajor));
             let src_b = BrickedField::from_fn(layout.clone(), init);
             let mut dst_b = BrickedField::new(layout);
-            g.bench_with_input(
-                BenchmarkId::new(format!("brick{bd}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| apply_star7_bricked(&mut dst_b, &src_b, -6.0, 1.0, v));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("brick{bd}"), n), &n, |b, _| {
+                b.iter(|| apply_star7_bricked(&mut dst_b, &src_b, -6.0, 1.0, v));
+            });
         }
     }
     g.finish();

@@ -52,8 +52,7 @@ fn bench_vcycle(c: &mut Criterion) {
         b.iter(|| {
             let decomp = Decomposition::new(Box3::cube(N), Point3::splat(1));
             RankWorld::run(1, |mut ctx| {
-                let mut s =
-                    HpgmgSolver::new(decomp.clone(), 0, LEVELS, SMOOTHS, BOTTOM, 0.0, 1);
+                let mut s = HpgmgSolver::new(decomp.clone(), 0, LEVELS, SMOOTHS, BOTTOM, 0.0, 1);
                 s.solve(&mut ctx);
             });
         });

@@ -179,7 +179,8 @@ pub fn run() -> Value {
     for r in rz["rows"].as_array().unwrap() {
         println!(
             "   threshold {:>8}: {:>8.1} µs",
-            r["threshold"], r["exchange_us"].as_f64().unwrap()
+            r["threshold"],
+            r["exchange_us"].as_f64().unwrap()
         );
     }
     let bs = brick_size();
@@ -255,7 +256,10 @@ mod tests {
     fn bigger_bricks_fewer_exchanges_more_redundancy() {
         let v = brick_size();
         let rows = v["rows"].as_array().unwrap();
-        let ex: Vec<i64> = rows.iter().map(|r| r["exchanges_per_24_smooths"].as_i64().unwrap()).collect();
+        let ex: Vec<i64> = rows
+            .iter()
+            .map(|r| r["exchanges_per_24_smooths"].as_i64().unwrap())
+            .collect();
         assert!(ex[0] > ex[1] && ex[1] > ex[2]);
         let red: Vec<f64> = rows
             .iter()
@@ -269,7 +273,9 @@ mod tests {
         let v = ordering_runs();
         let rows = v["rows"].as_array().unwrap();
         assert_eq!(rows[0]["recv_runs"].as_u64().unwrap(), 26);
-        assert!(rows[1]["total_runs"].as_u64().unwrap() > 3 * rows[0]["total_runs"].as_u64().unwrap());
+        assert!(
+            rows[1]["total_runs"].as_u64().unwrap() > 3 * rows[0]["total_runs"].as_u64().unwrap()
+        );
     }
 
     #[test]

@@ -1,4 +1,6 @@
 //! Run every table/figure harness in sequence and persist all results.
+//! Set `GMG_TRACE=<path>` to capture one Perfetto trace covering the
+//! whole sweep.
 type Harness = fn() -> serde_json::Value;
 
 fn main() {
@@ -15,8 +17,10 @@ fn main() {
         ("table4", gmg_bench::table4::run),
         ("table5", gmg_bench::table5::run),
     ];
-    for (name, f) in runs {
-        let v = f();
-        gmg_bench::report::save(name, &v);
-    }
+    gmg_bench::profile::with_env_trace(|| {
+        for (name, f) in runs {
+            let v = f();
+            gmg_bench::report::save(name, &v);
+        }
+    });
 }

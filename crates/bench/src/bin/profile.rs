@@ -1,0 +1,6 @@
+//! Traced solve with Perfetto export and roofline check.
+//! Run: `cargo run --release -p gmg-bench --bin profile`.
+fn main() {
+    let v = gmg_bench::profile::run();
+    gmg_bench::report::save("profile", &v);
+}

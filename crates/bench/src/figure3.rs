@@ -29,7 +29,10 @@ pub fn run() -> Value {
     for li in 0..nlevels {
         print!("{li:<7}");
         for r in &results {
-            print!(" {:>14}", crate::report::fmt_time(r.levels[li].total_seconds));
+            print!(
+                " {:>14}",
+                crate::report::fmt_time(r.levels[li].total_seconds)
+            );
         }
         println!();
     }

@@ -90,8 +90,16 @@ mod tests {
     #[test]
     fn speedups_match_paper_shape() {
         let b = bars();
-        assert!((b[0].speedup - 1.58).abs() < 0.15, "Perlmutter {}", b[0].speedup);
-        assert!((b[1].speedup - 1.46).abs() < 0.15, "Frontier {}", b[1].speedup);
+        assert!(
+            (b[0].speedup - 1.58).abs() < 0.15,
+            "Perlmutter {}",
+            b[0].speedup
+        );
+        assert!(
+            (b[1].speedup - 1.46).abs() < 0.15,
+            "Frontier {}",
+            b[1].speedup
+        );
         assert!((b[2].speedup - 1.0).abs() < 0.4, "Sunspot {}", b[2].speedup);
         // Bricks win on Perlmutter and Frontier.
         assert!(b[0].speedup > 1.2 && b[1].speedup > 1.2);

@@ -58,7 +58,16 @@ pub fn run() -> Value {
         println!("\n-- {} --", op.name());
         println!(
             "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  {:>9} {:>11} {:>7}",
-            "system", "512^3", "256^3", "128^3", "64^3", "32^3", "16^3", "ceiling", "fit alpha", "R^2"
+            "system",
+            "512^3",
+            "256^3",
+            "128^3",
+            "64^3",
+            "32^3",
+            "16^3",
+            "ceiling",
+            "fit alpha",
+            "R^2"
         );
         for sys in System::ALL {
             let s = series(sys, op);

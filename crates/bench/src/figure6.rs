@@ -34,12 +34,8 @@ pub fn series(system: System) -> ExchangeSeries {
     let samples = (0..6)
         .map(|l| {
             let n = 512i64 >> l;
-            let plan = BrickExchangePlan::new(
-                Point3::splat(n),
-                bd.min(n),
-                1,
-                BrickOrdering::SurfaceMajor,
-            );
+            let plan =
+                BrickExchangePlan::new(Point3::splat(n), bd.min(n), 1, BrickOrdering::SurfaceMajor);
             let gbs = net.exchange_gbs(&plan.message_bytes);
             (plan.total_bytes(), gbs)
         })

@@ -72,7 +72,12 @@ mod tests {
     fn nvidia_points_cluster_near_ideal() {
         // Paper: NVIDIA at most ~1.2× potential speedup across all ops.
         for p in points().iter().filter(|p| p.system == System::Perlmutter) {
-            assert!(p.potential_speedup <= 1.27, "{}: {}", p.op, p.potential_speedup);
+            assert!(
+                p.potential_speedup <= 1.27,
+                "{}: {}",
+                p.op,
+                p.potential_speedup
+            );
         }
     }
 
@@ -84,13 +89,22 @@ mod tests {
             .iter()
             .find(|p| p.system == System::Frontier && p.op == "interpolation+increment")
             .unwrap();
-        assert!(outlier.potential_speedup > 3.0, "{}", outlier.potential_speedup);
+        assert!(
+            outlier.potential_speedup > 3.0,
+            "{}",
+            outlier.potential_speedup
+        );
         // Everything else on Frontier stays within ~1.2–1.5×.
         for p in pts
             .iter()
             .filter(|p| p.system == System::Frontier && p.op != "interpolation+increment")
         {
-            assert!(p.potential_speedup < 1.8, "{}: {}", p.op, p.potential_speedup);
+            assert!(
+                p.potential_speedup < 1.8,
+                "{}: {}",
+                p.op,
+                p.potential_speedup
+            );
         }
     }
 

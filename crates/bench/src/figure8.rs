@@ -32,7 +32,10 @@ fn config(system: System, nodes: usize) -> ScheduleConfig {
 /// Build one system's curve.
 pub fn curve(system: System) -> WeakCurve {
     let sweep = node_sweep(system);
-    let runs: Vec<SimResult> = sweep.iter().map(|&n| simulate(&config(system, n))).collect();
+    let runs: Vec<SimResult> = sweep
+        .iter()
+        .map(|&n| simulate(&config(system, n)))
+        .collect();
     let base = &runs[0];
     let points = sweep
         .iter()
@@ -92,7 +95,11 @@ mod tests {
         for sys in System::ALL {
             let c = curve(sys);
             for w in c.points.windows(2) {
-                assert!(w[1].2 > w[0].2, "{sys:?}: {:?}", c.points.iter().map(|p| p.2).collect::<Vec<_>>());
+                assert!(
+                    w[1].2 > w[0].2,
+                    "{sys:?}: {:?}",
+                    c.points.iter().map(|p| p.2).collect::<Vec<_>>()
+                );
             }
         }
     }

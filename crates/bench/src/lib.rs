@@ -19,14 +19,16 @@
 //!
 //! Plus [`ablations`] — the Section V design-choice studies (CA on/off,
 //! GPU-aware MPI, rendezvous thresholds, brick size, ordering, CPU
-//! offload), run via `--bin ablations`.
+//! offload), run via `--bin ablations` — and [`profile`] — a traced solve
+//! with Perfetto (Chrome trace-event) export and a roofline check, run via
+//! `--bin profile`. Every binary honours `GMG_TRACE=<path>` to capture a
+//! trace of its run.
 //!
 //! Each `run()` prints the same rows/series the paper reports and returns a
 //! JSON value; binaries also persist it under `results/`. Criterion
 //! micro-benchmarks of the *real* CPU kernels live in `benches/`.
 
 pub mod ablations;
-pub mod measured;
 pub mod figure3;
 pub mod figure4;
 pub mod figure5;
@@ -34,7 +36,9 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod measured;
 pub mod plot;
+pub mod profile;
 pub mod report;
 pub mod table2;
 pub mod table3;

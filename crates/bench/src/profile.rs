@@ -1,0 +1,221 @@
+//! Roofline-aware profiling harness: run a traced distributed solve, export
+//! a Perfetto-loadable trace, and cross-check the trace-derived per-op time
+//! fractions against the solver's own [`OpTimer`] report.
+//!
+//! Run: `cargo run --release -p gmg-bench --bin profile`. The Chrome
+//! trace-event JSON lands in `results/profile_trace.json`; open it at
+//! <https://ui.perfetto.dev> to see one process per rank with separate
+//! compute and comm tracks.
+//!
+//! Any other harness binary can be traced too by setting
+//! `GMG_TRACE=<path>` in the environment — see [`with_env_trace`].
+//!
+//! [`OpTimer`]: gmg_core::timers::OpTimer
+
+use gmg_comm::runtime::RankWorld;
+use gmg_core::solver::{GmgSolver, SolverConfig};
+use gmg_core::timers::TimerReport;
+use gmg_machine::microbench::{measure_host, HostRoofline};
+use gmg_mesh::{Box3, Decomposition, Point3};
+use gmg_trace::TraceSummary;
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
+
+/// If `GMG_TRACE=<path>` is set, run `f` under a trace capture and write the
+/// resulting Chrome trace-event JSON to `<path>`; otherwise run `f` directly
+/// (tracing stays disabled, so instrumented code pays only a relaxed atomic
+/// load). Harness binaries wrap their `run()` in this.
+pub fn with_env_trace<T>(f: impl FnOnce() -> T) -> T {
+    with_trace_to(std::env::var_os("GMG_TRACE").map(PathBuf::from), f)
+}
+
+/// Env-independent core of [`with_env_trace`]: trace to `path` if given.
+pub fn with_trace_to<T>(path: Option<PathBuf>, f: impl FnOnce() -> T) -> T {
+    let Some(path) = path else { return f() };
+    let (out, trace) = gmg_trace::capture(f);
+    std::fs::write(&path, trace.to_chrome_string())
+        .unwrap_or_else(|e| panic!("write trace {path:?}: {e}"));
+    eprintln!("[trace: {} events -> {path:?}]", trace.events.len());
+    out
+}
+
+/// Problem the profiler runs: a fixed number of V-cycles so the timed work
+/// is deterministic, split across two ranks so the trace shows real
+/// send/recv/pack/unpack activity.
+fn profile_config() -> (Decomposition, usize, SolverConfig) {
+    let decomp = Decomposition::new(Box3::cube(32), Point3::new(2, 1, 1));
+    let cfg = SolverConfig {
+        num_levels: 3,
+        tolerance: 0.0,
+        max_vcycles: 4,
+        ..SolverConfig::test_default()
+    };
+    (decomp, 2, cfg)
+}
+
+/// Traced solve: returns rank 0's aggregated [`TimerReport`] plus the trace.
+fn traced_solve() -> (TimerReport, gmg_trace::Trace) {
+    let (decomp, nranks, cfg) = profile_config();
+    let d = &decomp;
+    let (mut reports, trace) = gmg_trace::capture(|| {
+        RankWorld::run(nranks, move |mut ctx| {
+            let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+            s.solve(&mut ctx);
+            s.timers.aggregate(&mut ctx)
+        })
+    });
+    (reports.swap_remove(0), trace)
+}
+
+/// Run the harness, writing the trace under `dir` and comparing achieved
+/// rates against `host`'s measured memory roofline.
+pub fn run_in(dir: &Path, host: &HostRoofline) -> Value {
+    crate::report::heading("profile — traced V-cycles, Perfetto export, roofline check");
+    let (report, trace) = traced_solve();
+    let summary = TraceSummary::from_trace(&trace);
+
+    let trace_path = dir.join("profile_trace.json");
+    std::fs::write(&trace_path, trace.to_chrome_string())
+        .unwrap_or_else(|e| panic!("write trace {trace_path:?}: {e}"));
+    println!(
+        "wrote {} events from {} ranks -> {trace_path:?}",
+        trace.events.len(),
+        summary.nranks
+    );
+
+    print!("{}", summary.render());
+
+    // Level-0 fractions two ways: the solver's OpTimer and the trace. They
+    // observe the same (t0, t1) pairs, so they must agree.
+    println!("\nlevel-0 fractions: OpTimer vs trace");
+    let timer_fr = report.level_fractions(0);
+    let trace_fr = summary.level_fractions(0);
+    let mut fraction_rows = Vec::new();
+    let mut max_diff = 0.0f64;
+    for ((op, tf), (top, cf)) in timer_fr.iter().zip(trace_fr.iter()) {
+        assert_eq!(op, top, "fraction rows out of order");
+        let diff = (tf - cf).abs();
+        max_diff = max_diff.max(diff);
+        println!(
+            "  {op:<28} {:>7.2}% {:>7.2}%  (|diff| {diff:.2e})",
+            tf * 100.0,
+            cf * 100.0
+        );
+        fraction_rows.push(json!({"op": op, "timer": tf, "trace": cf}));
+    }
+    println!("  max |diff| {max_diff:.2e}");
+
+    // Roofline: achieved GStencil/s per op vs the memory-bandwidth ceiling
+    // from the op's static traffic (Table IV doubles per point).
+    println!(
+        "\nroofline (STREAM triad {:.1} GB/s, {} threads)",
+        host.triad_gbs, host.threads
+    );
+    let mut roofline_rows = Vec::new();
+    for (op, _) in &timer_fr {
+        let Some(t) = gmg_core::trace::per_point(op) else {
+            continue;
+        };
+        let Some(achieved) = summary.gstencil_per_s(0, op) else {
+            continue;
+        };
+        let doubles = t.reads + t.writes;
+        let ceiling = host.gstencil_ceiling(doubles);
+        let frac = host.roofline_fraction(achieved * 1e9, doubles);
+        println!(
+            "  {op:<28} {achieved:>8.3} GStencil/s  ceiling {ceiling:>8.3}  ({:.1}% of roofline)",
+            frac * 100.0
+        );
+        roofline_rows.push(json!({
+            "op": op,
+            "achieved_gstencil_per_s": achieved,
+            "ceiling_gstencil_per_s": ceiling,
+            "roofline_fraction": frac,
+        }));
+    }
+
+    json!({
+        "nranks": summary.nranks,
+        "events": trace.events.len(),
+        "trace_path": trace_path.display().to_string(),
+        "wall_seconds": summary.wall_seconds,
+        "level0_fractions": fraction_rows,
+        "max_fraction_diff": max_diff,
+        "roofline": roofline_rows,
+        "comm": {
+            "messages": summary.comm.messages,
+            "message_bytes": summary.comm.message_bytes,
+            "seconds": summary.comm_seconds,
+        },
+        "triad_gbs": host.triad_gbs,
+    })
+}
+
+/// Run the harness against the measured host roofline, writing under the
+/// conventional results directory.
+pub fn run() -> Value {
+    run_in(&crate::report::results_dir(), &measure_host())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmg_trace::{Trace, Track};
+
+    fn fake_host() -> HostRoofline {
+        HostRoofline {
+            triad_gbs: 100.0,
+            copy_alpha_s: 1e-6,
+            copy_beta_gbs: 120.0,
+            threads: 8,
+        }
+    }
+
+    #[test]
+    fn profile_writes_perfetto_loadable_trace_with_two_ranks_and_comm() {
+        let dir = std::env::temp_dir().join("gmg_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let v = run_in(&dir, &fake_host());
+
+        // The written file must round-trip through the Chrome trace parser.
+        let text = std::fs::read_to_string(dir.join("profile_trace.json")).unwrap();
+        let trace = Trace::from_chrome_str(&text).expect("perfetto JSON parses");
+        let ranks = trace.ranks();
+        assert!(ranks.len() >= 2, "expected >= 2 ranks, got {ranks:?}");
+        for &r in &ranks {
+            assert!(
+                !trace.track_events(r, Track::Comm).is_empty(),
+                "rank {r} has no comm spans"
+            );
+            assert!(
+                trace.track_is_serial(r, Track::Comm),
+                "rank {r} comm overlaps"
+            );
+        }
+
+        // Acceptance criterion: trace fractions agree with OpTimer within 1%.
+        assert!(v["max_fraction_diff"].as_f64().unwrap() < 0.01);
+        assert!(v["comm"]["messages"].as_u64().unwrap() > 0);
+        assert!(!v["level0_fractions"].as_array().unwrap().is_empty());
+        assert!(!v["roofline"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn with_trace_to_writes_file_and_passes_result_through() {
+        let path = std::env::temp_dir().join("gmg_with_trace_test.json");
+        let _ = std::fs::remove_file(&path);
+        let out = with_trace_to(Some(path.clone()), || {
+            gmg_trace::span(0, 0, "applyOp", Track::Compute);
+            42
+        });
+        assert_eq!(out, 42);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let trace = Trace::from_chrome_str(&text).unwrap();
+        assert_eq!(trace.events.len(), 1);
+    }
+
+    #[test]
+    fn with_trace_to_none_is_passthrough() {
+        assert_eq!(with_trace_to(None, || 7), 7);
+    }
+}

@@ -2,23 +2,40 @@
 
 use serde_json::Value;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Directory for machine-readable experiment outputs (created on demand).
+/// Directory for machine-readable experiment outputs (created on demand):
+/// `$GMG_RESULTS_DIR`, or `results/` when unset.
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("GMG_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"));
+    ensure_dir(std::env::var_os("GMG_RESULTS_DIR").map(PathBuf::from))
+}
+
+/// Resolve and create the results directory from an explicit override.
+/// Tests go through this (with a temp dir) rather than mutating the
+/// process-global `GMG_RESULTS_DIR`, which would race with tests running
+/// in parallel threads.
+pub fn ensure_dir(overridden: Option<PathBuf>) -> PathBuf {
+    let dir = overridden.unwrap_or_else(|| PathBuf::from("results"));
     fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
 
 /// Persist a harness result as pretty JSON under `results/<name>.json`.
 pub fn save(name: &str, value: &Value) {
-    let path = results_dir().join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    let path = save_in(&results_dir(), name, value);
     println!("\n[saved {path:?}]");
+}
+
+/// Persist a harness result as pretty JSON under an explicit directory;
+/// returns the written path.
+pub fn save_in(dir: &Path, name: &str, value: &Value) -> PathBuf {
+    let path = dir.join(format!("{name}.json"));
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    path
 }
 
 /// Print a section header.
@@ -50,12 +67,20 @@ mod tests {
 
     #[test]
     fn save_and_readback() {
-        std::env::set_var("GMG_RESULTS_DIR", std::env::temp_dir().join("gmg_results_test"));
+        // Exercises the same code path `save` uses, through the explicit
+        // directory parameter — no process-global env mutation.
+        let dir = ensure_dir(Some(std::env::temp_dir().join("gmg_results_test")));
         let v = serde_json::json!({"a": 1});
-        save("unit_test_artifact", &v);
-        let p = results_dir().join("unit_test_artifact.json");
-        let back: Value = serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
+        let p = save_in(&dir, "unit_test_artifact", &v);
+        assert_eq!(p, dir.join("unit_test_artifact.json"));
+        let back: Value = serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
         assert_eq!(back, v);
-        std::env::remove_var("GMG_RESULTS_DIR");
+    }
+
+    #[test]
+    fn ensure_dir_defaults_without_override() {
+        // No override → the conventional relative path (created on demand).
+        let d = ensure_dir(None);
+        assert_eq!(d, PathBuf::from("results"));
     }
 }

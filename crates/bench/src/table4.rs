@@ -25,9 +25,18 @@ pub fn run() -> Value {
         println!("{:<26} {ai:>10.3} {paper:>8}", op.name());
     }
     println!("\nDSL cross-checks (FLOPs/point from the expression tree):");
-    println!("  applyOp     : {}", apply_op_def().analysis().flops_per_point);
-    println!("  smooth      : {}", smooth_def().analysis().flops_per_point);
-    println!("  restriction : {}", restriction_def().analysis().flops_per_point);
+    println!(
+        "  applyOp     : {}",
+        apply_op_def().analysis().flops_per_point
+    );
+    println!(
+        "  smooth      : {}",
+        smooth_def().analysis().flops_per_point
+    );
+    println!(
+        "  restriction : {}",
+        restriction_def().analysis().flops_per_point
+    );
     json!({
         "rows": rows().iter().map(|(op, ai, p)| json!({
             "op": op.name(), "computed_ai": ai, "paper_ai": p,

@@ -1,8 +1,8 @@
 //! Bricked field storage: the data companion to [`BrickLayout`].
 
-use crate::layout::{BrickLayout, NO_BRICK};
 #[cfg(test)]
 use crate::layout::BrickOrdering;
+use crate::layout::{BrickLayout, NO_BRICK};
 use crate::neighborhood::BrickNeighborhood;
 use gmg_mesh::{Array3, Box3, Point3};
 use rayon::prelude::*;
@@ -125,8 +125,8 @@ impl BrickedField {
             for z in sub.lo.z..sub.hi.z {
                 for y in sub.lo.y..sub.hi.y {
                     let row = base
-                        + (((z - cells.lo.z) * bd + (y - cells.lo.y)) * bd + (sub.lo.x - cells.lo.x))
-                            as usize;
+                        + (((z - cells.lo.z) * bd + (y - cells.lo.y)) * bd
+                            + (sub.lo.x - cells.lo.x)) as usize;
                     let w = (sub.hi.x - sub.lo.x) as usize;
                     self.data[row..row + w].fill(v);
                 }
@@ -156,9 +156,7 @@ impl BrickedField {
     /// both representations cover them.
     pub fn from_array3(layout: Arc<BrickLayout>, a: &Array3<f64>) -> Self {
         assert_eq!(a.valid(), layout.cell_box(), "valid regions differ");
-        let common = layout
-            .storage_cell_box()
-            .intersect(&a.storage_box());
+        let common = layout.storage_cell_box().intersect(&a.storage_box());
         let mut f = Self::new(layout);
         common.for_each(|p| f.set(p, a[p]));
         f

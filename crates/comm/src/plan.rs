@@ -66,8 +66,18 @@ pub struct BrickExchangePlan {
 
 impl BrickExchangePlan {
     /// Plan the exchange for a brick-aligned subdomain.
-    pub fn new(sub_extent: Point3, brick_dim: i64, ghost_bricks: i64, ordering: BrickOrdering) -> Self {
-        let layout = BrickLayout::new(Box3::from_extent(sub_extent), brick_dim, ghost_bricks, ordering);
+    pub fn new(
+        sub_extent: Point3,
+        brick_dim: i64,
+        ghost_bricks: i64,
+        ordering: BrickOrdering,
+    ) -> Self {
+        let layout = BrickLayout::new(
+            Box3::from_extent(sub_extent),
+            brick_dim,
+            ghost_bricks,
+            ordering,
+        );
         let bvol_bytes = layout.brick_volume() * 8;
         let mut message_bytes = Vec::with_capacity(26);
         let mut send_runs = Vec::with_capacity(26);

@@ -15,6 +15,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use gmg_brick::BrickedField;
 use gmg_mesh::ghost::{direction_index, DIRECTIONS_26};
 use gmg_mesh::{Array3, Box3, Decomposition, Point3};
+use gmg_trace::{Counters, Span, Track, LEVEL_NONE};
 
 /// A message: source rank, tag, payload.
 type Msg = (usize, u64, Vec<f64>);
@@ -43,8 +44,29 @@ impl RankCtx {
         self.nranks
     }
 
+    /// Open a comm-track span for one message. Collective tags live near
+    /// `u64::MAX` and would not survive the trace's JSON f64 encoding, so
+    /// they are attributed by peer only.
+    fn comm_span(&self, op: &'static str, peer: usize, tag: u64) -> Span {
+        let mut sp = gmg_trace::span(self.rank, LEVEL_NONE, op, Track::Comm);
+        if sp.is_live() {
+            if tag < COLLECTIVE_TAG {
+                sp.peer(peer, tag);
+            } else {
+                sp.peer_rank(peer);
+            }
+        }
+        sp
+    }
+
     /// Non-blocking tagged send (`MPI_Isend` with buffered semantics).
     pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
+        let mut sp = self.comm_span("send", to, tag);
+        sp.counters(Counters {
+            messages: 1,
+            message_bytes: (payload.len() * 8) as u64,
+            ..Default::default()
+        });
         self.peers[to]
             .send((self.rank, tag, payload))
             .expect("receiver hung up");
@@ -52,6 +74,17 @@ impl RankCtx {
 
     /// Blocking receive matching `(from, tag)`.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        let mut sp = self.comm_span("recv", from, tag);
+        let payload = self.recv_untraced(from, tag);
+        sp.counters(Counters {
+            messages: 1,
+            message_bytes: (payload.len() * 8) as u64,
+            ..Default::default()
+        });
+        payload
+    }
+
+    fn recv_untraced(&mut self, from: usize, tag: u64) -> Vec<f64> {
         if let Some(pos) = self
             .stash
             .iter()
@@ -110,6 +143,10 @@ pub struct RankWorld;
 impl RankWorld {
     /// Run `body(ctx)` on every rank concurrently and return the per-rank
     /// results. Panics in any rank propagate.
+    ///
+    /// If the calling thread has a `gmg_trace` capture scope installed,
+    /// it is re-installed inside every rank thread, so one `capture`
+    /// around `run` sees spans from all ranks.
     pub fn run<T: Send>(nranks: usize, body: impl Fn(RankCtx) -> T + Sync) -> Vec<T> {
         assert!(nranks >= 1);
         let mut senders = Vec::with_capacity(nranks);
@@ -121,10 +158,13 @@ impl RankWorld {
         }
         let body = &body;
         let senders_ref = &senders;
+        let trace_scope = gmg_trace::current_scope();
+        let trace_scope_ref = &trace_scope;
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(nranks);
             for (rank, inbox) in receivers.into_iter().enumerate() {
                 handles.push(s.spawn(move || {
+                    let _trace = trace_scope_ref.as_ref().map(|sc| sc.install());
                     body(RankCtx {
                         rank,
                         nranks,
@@ -170,16 +210,24 @@ pub fn exchange_bricked(
             continue; // handled locally below
         }
         let slots = layout.send_slots(dir);
+        let mut sp = gmg_trace::span(rank, LEVEL_NONE, "pack", Track::Comm);
         let mut buf = Vec::with_capacity(slots.len() * layout.brick_volume());
         for &s in &slots {
             buf.extend_from_slice(field.brick(s));
         }
+        sp.counters(Counters {
+            bytes_read: (buf.len() * 8) as u64,
+            bytes_written: (buf.len() * 8) as u64,
+            ..Default::default()
+        });
+        drop(sp);
         ctx.send(nbr.rank, halo_tag(tag_base, dir), buf);
     }
     for dir in DIRECTIONS_26 {
         let nbr = decomp.neighbor(rank, dir);
         if nbr.rank == rank {
             // Periodic wrap onto myself: local brick copies.
+            let _sp = gmg_trace::span(rank, LEVEL_NONE, "self-exchange", Track::Comm);
             let shift_bricks = nbr.wrap_shift.div_floor(Point3::splat(bd));
             field.copy_ghost_from_self(dir, shift_bricks);
             continue;
@@ -187,6 +235,7 @@ pub fn exchange_bricked(
         // My ghost in direction `dir` comes from the neighbor's send in
         // direction `-dir` (its direction toward me).
         let payload = ctx.recv(nbr.rank, halo_tag(tag_base, -dir));
+        let mut sp = gmg_trace::span(rank, LEVEL_NONE, "unpack", Track::Comm);
         let ghosts = layout.ghost_slots(dir);
         assert_eq!(
             payload.len(),
@@ -199,6 +248,11 @@ pub fn exchange_bricked(
                 .brick_mut(g)
                 .copy_from_slice(&payload[i * bvol..(i + 1) * bvol]);
         }
+        sp.counters(Counters {
+            bytes_read: (payload.len() * 8) as u64,
+            bytes_written: (payload.len() * 8) as u64,
+            ..Default::default()
+        });
     }
 }
 
@@ -214,14 +268,24 @@ pub fn exchange_array(
 ) {
     let rank = ctx.rank();
     let sub: Box3 = a.valid();
-    assert!(depth <= a.ghost(), "exchange depth exceeds ghost allocation");
+    assert!(
+        depth <= a.ghost(),
+        "exchange depth exceeds ghost allocation"
+    );
     let mut buf = Vec::new();
     for dir in DIRECTIONS_26 {
         let nbr = decomp.neighbor(rank, dir);
         if nbr.rank == rank {
             continue;
         }
+        let mut sp = gmg_trace::span(rank, LEVEL_NONE, "pack", Track::Comm);
         a.pack(sub.face_region(dir, depth), &mut buf);
+        sp.counters(Counters {
+            bytes_read: (buf.len() * 8) as u64,
+            bytes_written: (buf.len() * 8) as u64,
+            ..Default::default()
+        });
+        drop(sp);
         ctx.send(nbr.rank, halo_tag(tag_base, dir), std::mem::take(&mut buf));
     }
     for dir in DIRECTIONS_26 {
@@ -229,6 +293,7 @@ pub fn exchange_array(
         let recv_region = sub.halo_region(dir, depth);
         if nbr.rank == rank {
             // Self-wrap: my halo cell p equals my own cell p − wrap_shift.
+            let _sp = gmg_trace::span(rank, LEVEL_NONE, "self-exchange", Track::Comm);
             a.pack(recv_region.shift(-nbr.wrap_shift), &mut buf);
             let moved = std::mem::take(&mut buf);
             a.unpack(recv_region, &moved);
@@ -236,7 +301,13 @@ pub fn exchange_array(
             continue;
         }
         let payload = ctx.recv(nbr.rank, halo_tag(tag_base, -dir));
+        let mut sp = gmg_trace::span(rank, LEVEL_NONE, "unpack", Track::Comm);
         a.unpack(recv_region, &payload);
+        sp.counters(Counters {
+            bytes_read: (payload.len() * 8) as u64,
+            bytes_written: (payload.len() * 8) as u64,
+            ..Default::default()
+        });
     }
 }
 
@@ -360,6 +431,77 @@ mod tests {
                     assert_eq!(a[p], expect, "rank {} cell {p:?}", ctx.rank());
                 });
             });
+        }
+    }
+
+    #[test]
+    fn trace_captures_all_ranks_with_serial_comm_tracks() {
+        // A capture around RankWorld::run must see spans from every rank,
+        // and each rank's comm track must be a real timeline: spans
+        // strictly ordered, none overlapping.
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(2));
+        let n = decomp.num_ranks();
+        let d = &decomp;
+        let (_, trace) = gmg_trace::capture(|| {
+            RankWorld::run(n, move |mut ctx| {
+                let sub = d.subdomain(ctx.rank());
+                let mut a = Array3::from_fn(sub, 1, idx_fn);
+                exchange_array(&mut ctx, d, &mut a, 1, 5);
+                ctx.barrier();
+            });
+        });
+        assert_eq!(trace.ranks().len(), n);
+        for rank in trace.ranks() {
+            assert!(
+                trace.track_is_serial(rank, gmg_trace::Track::Comm),
+                "rank {rank} comm track has overlapping spans"
+            );
+            let evs = trace.track_events(rank, gmg_trace::Track::Comm);
+            assert!(!evs.is_empty());
+            // Halo traffic on 8 ranks: 26 sends, 26 recvs, plus packs,
+            // unpacks, and collective barrier traffic.
+            let ops: Vec<_> = evs.iter().map(|e| e.op.name()).collect();
+            for needed in ["pack", "send", "recv", "unpack"] {
+                assert!(ops.contains(&needed), "rank {rank} missing {needed}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_recv_span_ends_after_its_matching_send_begins() {
+        let decomp = Decomposition::new(Box3::cube(16), Point3::new(2, 2, 1));
+        let n = decomp.num_ranks();
+        let d = &decomp;
+        let (_, trace) = gmg_trace::capture(|| {
+            RankWorld::run(n, move |mut ctx| {
+                let sub = d.subdomain(ctx.rank());
+                let mut a = Array3::from_fn(sub, 1, idx_fn);
+                exchange_array(&mut ctx, d, &mut a, 1, 6);
+            });
+        });
+        let sends: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.op.name() == "send" && e.tag.is_some())
+            .collect();
+        let recvs: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.op.name() == "recv" && e.tag.is_some())
+            .collect();
+        assert!(!recvs.is_empty());
+        for r in &recvs {
+            // The matching send: posted by my peer, addressed to me, same
+            // tag. A recv cannot complete before that send was posted.
+            let s = sends
+                .iter()
+                .find(|s| s.rank == r.peer.unwrap() && s.peer == Some(r.rank) && s.tag == r.tag)
+                .unwrap_or_else(|| panic!("no matching send for recv {r:?}"));
+            assert!(
+                r.ts_ns + r.dur_ns >= s.ts_ns,
+                "recv {r:?} ended before matching send {s:?} began"
+            );
+            assert_eq!(r.counters.message_bytes, s.counters.message_bytes);
         }
     }
 

@@ -38,12 +38,21 @@ impl LocalNorms {
         }
     }
 
-    /// Combine this rank's norms with the rest of the world.
+    /// Combine this rank's norms with the rest of the world. A world with
+    /// zero cells total (e.g. norms of an empty region) yields zeroed
+    /// norms rather than NaN from the 0/0 division.
     pub fn global(self, ctx: &mut RankCtx) -> GlobalNorms {
         let sum_sq = ctx.allreduce_sum(self.sum_sq);
         let max_abs = ctx.allreduce_max(self.max_abs);
         let sum = ctx.allreduce_sum(self.sum);
         let cells = ctx.allreduce_sum(self.cells as f64);
+        if cells == 0.0 {
+            return GlobalNorms {
+                l2: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
         GlobalNorms {
             l2: (sum_sq / cells).sqrt(),
             max: max_abs,
@@ -87,9 +96,13 @@ impl ConvergenceReport {
             .windows(2)
             .map(|w| if w[0] > 0.0 { w[1] / w[0] } else { 0.0 })
             .collect();
-        let mean_factor = {
-            let prod: f64 = factors.iter().product();
-            prod.powf(1.0 / factors.len() as f64)
+        // Geometric mean via Σ ln: the direct product underflows to zero
+        // for long histories (e.g. 400 factors of 0.1 is 1e-400 < f64 min).
+        let mean_factor = if factors.iter().any(|f| *f <= 0.0) {
+            0.0
+        } else {
+            let ln_sum: f64 = factors.iter().map(|f| f.ln()).sum();
+            (ln_sum / factors.len() as f64).exp()
         };
         let asymptotic_factor = *factors.last().expect("non-empty");
         let cycles_per_digit = if asymptotic_factor > 0.0 && asymptotic_factor < 1.0 {
@@ -155,6 +168,42 @@ mod tests {
     fn stalled_history_reports_infinite_digits() {
         let r = ConvergenceReport::from_history(&[1.0, 1.0]);
         assert!(r.cycles_per_digit.is_infinite());
+    }
+
+    #[test]
+    fn long_history_geometric_mean_does_not_underflow() {
+        // 500 cycles at a factor of 0.1: the naive product is 1e-500,
+        // which underflows f64 to zero. The ln-sum formulation must still
+        // report the true mean factor.
+        let history: Vec<f64> = (0..=500).map(|i| 10f64.powi(-i)).collect();
+        let r = ConvergenceReport::from_history(&history);
+        assert!(
+            (r.mean_factor - 0.1).abs() < 1e-12,
+            "mean factor {}",
+            r.mean_factor
+        );
+        // A zero factor (exact convergence) still yields a zero mean.
+        let r0 = ConvergenceReport::from_history(&[1.0, 0.5, 0.0]);
+        assert_eq!(r0.mean_factor, 0.0);
+    }
+
+    #[test]
+    fn global_norms_of_zero_cells_are_zero_not_nan() {
+        let out = RankWorld::run(2, |mut ctx| {
+            let n = LocalNorms {
+                sum_sq: 0.0,
+                max_abs: 0.0,
+                sum: 0.0,
+                cells: 0,
+            };
+            n.global(&mut ctx)
+        });
+        for g in out {
+            assert_eq!(g.l2, 0.0);
+            assert_eq!(g.max, 0.0);
+            assert_eq!(g.mean, 0.0);
+            assert!(!g.l2.is_nan() && !g.mean.is_nan());
+        }
     }
 
     #[test]

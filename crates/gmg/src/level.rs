@@ -142,8 +142,7 @@ impl Level {
 
     /// Max-norm of the residual over this rank's owned cells.
     pub fn max_norm_r(&self) -> f64 {
-        self.r
-            .par_reduce(self.owned, 0.0, |_, v| v.abs(), f64::max)
+        self.r.par_reduce(self.owned, 0.0, |_, v| v.abs(), f64::max)
     }
 
     /// Error against a reference solution over owned cells (max-norm),
@@ -174,8 +173,8 @@ pub fn restriction(fine: &Level, coarse: &mut Level) {
                     for dz in 0..2 {
                         for dy in 0..2 {
                             for dx in 0..2 {
-                                sum += fine_r
-                                    .get(Point3::new(2 * cx + dx, 2 * cy + dy, 2 * cz + dz));
+                                sum +=
+                                    fine_r.get(Point3::new(2 * cx + dx, 2 * cy + dy, 2 * cz + dz));
                             }
                         }
                     }
@@ -220,14 +219,7 @@ mod tests {
     fn single_level(n: i64, bd: i64, index: usize) -> Level {
         let problem = PoissonProblem::new(n << index);
         let decomp = Decomposition::single(Box3::cube(n));
-        Level::new(
-            &problem,
-            decomp,
-            0,
-            index,
-            bd,
-            BrickOrdering::SurfaceMajor,
-        )
+        Level::new(&problem, decomp, 0, index, bd, BrickOrdering::SurfaceMajor)
     }
 
     fn self_exchange(l: &mut Level) {
@@ -257,9 +249,7 @@ mod tests {
         let problem = PoissonProblem::new(n);
         let mut l = single_level(n, 4, 0);
         let pr = problem;
-        l.x = BrickedField::from_fn(l.layout.clone(), |p| {
-            pr.rhs(p.rem_euclid(Point3::splat(n)))
-        });
+        l.x = BrickedField::from_fn(l.layout.clone(), |p| pr.rhs(p.rem_euclid(Point3::splat(n))));
         l.apply_op(l.owned);
         let lambda = problem.discrete_eigenvalue();
         let err = l.ax.par_reduce(
@@ -277,9 +267,7 @@ mod tests {
         let problem = PoissonProblem::new(n);
         let mut l = single_level(n, 4, 0);
         let pr = problem;
-        l.b = BrickedField::from_fn(l.layout.clone(), |p| {
-            pr.rhs(p.rem_euclid(Point3::splat(n)))
-        });
+        l.b = BrickedField::from_fn(l.layout.clone(), |p| pr.rhs(p.rem_euclid(Point3::splat(n))));
         l.init_zero();
         let mut prev = f64::INFINITY;
         for _ in 0..5 {
@@ -300,7 +288,8 @@ mod tests {
         let mut a = single_level(n, 4, 0);
         let mut b = single_level(n, 4, 0);
         let init = |l: &mut Level| {
-            l.x = BrickedField::from_fn(l.layout.clone(), |p| ((p.x + p.y * 2 + p.z * 3) % 7) as f64);
+            l.x =
+                BrickedField::from_fn(l.layout.clone(), |p| ((p.x + p.y * 2 + p.z * 3) % 7) as f64);
             l.b = BrickedField::from_fn(l.layout.clone(), |p| ((p.x * p.z - p.y) % 5) as f64);
         };
         init(&mut a);
@@ -324,7 +313,14 @@ mod tests {
         let problem = PoissonProblem::new(16);
         let decomp = Decomposition::single(Box3::cube(16));
         let fine = {
-            let mut f = Level::new(&problem, decomp.clone(), 0, 0, 4, BrickOrdering::SurfaceMajor);
+            let mut f = Level::new(
+                &problem,
+                decomp.clone(),
+                0,
+                0,
+                4,
+                BrickOrdering::SurfaceMajor,
+            );
             f.r = BrickedField::from_fn(f.layout.clone(), |p| (p.x + 10 * p.y + 100 * p.z) as f64);
             f
         };
@@ -356,7 +352,14 @@ mod tests {
     fn interpolation_increments_piecewise_constant() {
         let problem = PoissonProblem::new(16);
         let decomp = Decomposition::single(Box3::cube(16));
-        let mut fine = Level::new(&problem, decomp.clone(), 0, 0, 4, BrickOrdering::SurfaceMajor);
+        let mut fine = Level::new(
+            &problem,
+            decomp.clone(),
+            0,
+            0,
+            4,
+            BrickOrdering::SurfaceMajor,
+        );
         fine.x = BrickedField::from_fn(fine.layout.clone(), |_| 1.0);
         let mut coarse = Level::new(
             &problem,
@@ -382,7 +385,14 @@ mod tests {
         // (consistency of the inter-grid pair).
         let problem = PoissonProblem::new(8);
         let decomp = Decomposition::single(Box3::cube(8));
-        let mut fine = Level::new(&problem, decomp.clone(), 0, 0, 4, BrickOrdering::SurfaceMajor);
+        let mut fine = Level::new(
+            &problem,
+            decomp.clone(),
+            0,
+            0,
+            4,
+            BrickOrdering::SurfaceMajor,
+        );
         fine.r = BrickedField::from_fn(fine.layout.clone(), |_| 5.0);
         let mut coarse = Level::new(
             &problem,

@@ -30,6 +30,7 @@ pub mod schedule;
 pub mod smoother;
 pub mod solver;
 pub mod timers;
+pub mod trace;
 
 pub use diagnostics::{ConvergenceReport, GlobalNorms};
 pub use level::Level;

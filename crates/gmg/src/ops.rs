@@ -46,14 +46,7 @@ mod tests {
         let d = &decomp;
         let pr = &problem;
         RankWorld::run(2, move |mut ctx| {
-            let mut l = Level::new(
-                pr,
-                d.clone(),
-                ctx.rank(),
-                0,
-                4,
-                BrickOrdering::SurfaceMajor,
-            );
+            let mut l = Level::new(pr, d.clone(), ctx.rank(), 0, 4, BrickOrdering::SurfaceMajor);
             assert_eq!(l.margin, 0);
             exchange_x(&mut ctx, &mut l, 1);
             assert_eq!(l.margin, 4);
@@ -70,18 +63,10 @@ mod tests {
         let d = &decomp;
         let pr = &problem;
         let out = RankWorld::run(8, move |mut ctx| {
-            let mut l = Level::new(
-                pr,
-                d.clone(),
-                ctx.rank(),
-                0,
-                4,
-                BrickOrdering::SurfaceMajor,
-            );
+            let mut l = Level::new(pr, d.clone(), ctx.rank(), 0, 4, BrickOrdering::SurfaceMajor);
             let lambda = pr.discrete_eigenvalue();
-            l.b = BrickedField::from_fn(l.layout.clone(), |p| {
-                pr.rhs(p.rem_euclid(Point3::splat(n)))
-            });
+            l.b =
+                BrickedField::from_fn(l.layout.clone(), |p| pr.rhs(p.rem_euclid(Point3::splat(n))));
             l.x = BrickedField::from_fn(l.layout.clone(), |p| {
                 pr.rhs(p.rem_euclid(Point3::splat(n))) / lambda
             });
@@ -100,17 +85,9 @@ mod tests {
         let d = &decomp;
         let pr = &problem;
         let out = RankWorld::run(4, move |mut ctx| {
-            let mut l = Level::new(
-                pr,
-                d.clone(),
-                ctx.rank(),
-                0,
-                4,
-                BrickOrdering::SurfaceMajor,
-            );
-            l.b = BrickedField::from_fn(l.layout.clone(), |p| {
-                pr.rhs(p.rem_euclid(Point3::splat(n)))
-            });
+            let mut l = Level::new(pr, d.clone(), ctx.rank(), 0, 4, BrickOrdering::SurfaceMajor);
+            l.b =
+                BrickedField::from_fn(l.layout.clone(), |p| pr.rhs(p.rem_euclid(Point3::splat(n))));
             l.init_zero();
             max_norm_residual(&mut ctx, &mut l, 5)
         });

@@ -200,12 +200,7 @@ impl<'a> Sim<'a> {
         let net = cfg.network();
         let plans = (0..cfg.num_levels)
             .map(|li| {
-                BrickExchangePlan::new(
-                    cfg.extent_at(li),
-                    cfg.brick_dim_at(li),
-                    1,
-                    cfg.ordering,
-                )
+                BrickExchangePlan::new(cfg.extent_at(li), cfg.brick_dim_at(li), 1, cfg.ordering)
             })
             .collect();
         Self {
@@ -297,8 +292,8 @@ impl<'a> Sim<'a> {
     }
 
     fn init_zero(&mut self, li: usize) {
-        let cells = self.plans[li].sub_extent.product() as f64
-            + self.plans[li].total_bytes() as f64 / 8.0; // owned + ghost shell
+        let cells =
+            self.plans[li].sub_extent.product() as f64 + self.plans[li].total_bytes() as f64 / 8.0; // owned + ghost shell
         let t = self.gpu.kernel_overhead_us * 1e-6 + cells * 8.0 / (self.gpu.hbm_gbs * 1e9);
         self.add(li, "initZero", t);
         self.margins[li] = self.cfg.brick_dim_at(li);

@@ -125,9 +125,15 @@ impl Smoother {
 
 fn weighted_update(level: &mut Level, region: Box3, gamma: f64) {
     let pieces = level.layout.slots_intersecting(region);
-    par_pointwise_mut1(&mut level.x, &level.ax, &level.b, &pieces, move |x, ax, b| {
-        *x += gamma * (ax - b);
-    });
+    par_pointwise_mut1(
+        &mut level.x,
+        &level.ax,
+        &level.b,
+        &pieces,
+        move |x, ax, b| {
+            *x += gamma * (ax - b);
+        },
+    );
 }
 
 fn weighted_update_with_residual(level: &mut Level, region: Box3, gamma: f64) {

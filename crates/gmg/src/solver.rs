@@ -161,9 +161,8 @@ impl GmgSolver {
         // exploiting periodicity of the analytic right-hand side.
         let dom = levels[0].decomp.domain().extent();
         let pr = problem;
-        levels[0].b = BrickedField::from_fn(levels[0].layout.clone(), move |p| {
-            pr.rhs(p.rem_euclid(dom))
-        });
+        levels[0].b =
+            BrickedField::from_fn(levels[0].layout.clone(), move |p| pr.rhs(p.rem_euclid(dom)));
         Self {
             problem,
             config,
@@ -202,6 +201,28 @@ impl GmgSolver {
         self.mu_cycle(ctx, level);
     }
 
+    /// Record one timed op into both the scalar [`OpTimer`] and (when a
+    /// trace capture is active) the trace sink. Both consume the *same*
+    /// `[t0, t1]` measurement, so trace-derived per-op fractions agree
+    /// with `TimerReport::level_fractions` by construction. `points` is
+    /// the number of (coarse, for inter-level ops) points processed; it
+    /// expands to exact byte/FLOP counters via [`crate::trace`].
+    fn record_op(&mut self, level: usize, op: &'static str, t0: Instant, t1: Instant, points: u64) {
+        let secs = (t1 - t0).as_secs_f64();
+        self.timers.record(level, op, secs);
+        if gmg_trace::enabled() {
+            gmg_trace::record_span_at(
+                self.rank,
+                level,
+                op,
+                gmg_trace::Track::Compute,
+                t0,
+                secs,
+                crate::trace::op_counters(op, points),
+            );
+        }
+    }
+
     /// One smoothing pass at level `li`: `n` iterations of
     /// `exchange → applyOp → smooth(+residual)`, with the exchange elided
     /// while the communication-avoiding ghost margin lasts. Smoothers that
@@ -217,8 +238,7 @@ impl GmgSolver {
                 let level = &mut self.levels[li];
                 let t0 = Instant::now();
                 exchange_x(ctx, level, tag);
-                self.timers
-                    .record(li, "exchange", t0.elapsed().as_secs_f64());
+                self.record_op(li, "exchange", t0, Instant::now(), 0);
             }
             let level = &mut self.levels[li];
             // CA mode works on the shrinking valid region; otherwise the
@@ -228,6 +248,7 @@ impl GmgSolver {
             } else {
                 level.owned.grow(need - 1)
             };
+            let points = region.volume() as u64;
             if let Smoother::Jacobi = smoother {
                 // The paper's path, with the paper's split timer rows.
                 let t0 = Instant::now();
@@ -239,18 +260,18 @@ impl GmgSolver {
                     level.smooth(region);
                 }
                 let t2 = Instant::now();
-                self.timers
-                    .record(li, "applyOp", (t1 - t0).as_secs_f64());
-                self.timers.record(
+                self.record_op(li, "applyOp", t0, t1, points);
+                self.record_op(
                     li,
                     if fused { "smooth+residual" } else { "smooth" },
-                    (t2 - t1).as_secs_f64(),
+                    t1,
+                    t2,
+                    points,
                 );
             } else {
                 let t0 = Instant::now();
                 smoother.apply(level, region, fused);
-                self.timers
-                    .record(li, smoother.name(), t0.elapsed().as_secs_f64());
+                self.record_op(li, smoother.name(), t0, Instant::now(), points);
             }
             self.levels[li].margin -= need;
         }
@@ -274,23 +295,22 @@ impl GmgSolver {
         // Pre-smooth (computes the fused residual for restriction).
         self.smooth_pass(ctx, l, smooths, true);
         let (fine_part, coarse_part) = self.levels.split_at_mut(l + 1);
+        // Inter-level ops count per *coarse* point (Table IV convention).
+        let coarse_points = coarse_part[0].owned.volume() as u64;
         let t0 = Instant::now();
         restriction(&fine_part[l], &mut coarse_part[0]);
         let t1 = Instant::now();
         coarse_part[0].init_zero();
         let t2 = Instant::now();
-        self.timers
-            .record(l, "restriction", (t1 - t0).as_secs_f64());
-        self.timers
-            .record(l + 1, "initZero", (t2 - t1).as_secs_f64());
+        self.record_op(l, "restriction", t0, t1, coarse_points);
+        self.record_op(l + 1, "initZero", t1, t2, coarse_points);
         if self.config.communication_avoiding {
             // Restriction fills b on owned cells only; CA smoothing reads
             // b in the ghost shell.
             let tag = self.next_tag();
             let t0 = Instant::now();
             exchange_b(ctx, &mut self.levels[l + 1], tag);
-            self.timers
-                .record(l + 1, "exchange", t0.elapsed().as_secs_f64());
+            self.record_op(l + 1, "exchange", t0, Instant::now(), 0);
         }
         // Recurse γ times: the coarse correction continues from its
         // previous iterate on repeat visits (classical μ-cycle).
@@ -298,10 +318,16 @@ impl GmgSolver {
             self.mu_cycle(ctx, l + 1);
         }
         let (fine_part, coarse_part) = self.levels.split_at_mut(l + 1);
+        let coarse_points = coarse_part[0].owned.volume() as u64;
         let t0 = Instant::now();
         interpolation_increment(&coarse_part[0], &mut fine_part[l]);
-        self.timers
-            .record(l, "interpolation+increment", t0.elapsed().as_secs_f64());
+        self.record_op(
+            l,
+            "interpolation+increment",
+            t0,
+            Instant::now(),
+            coarse_points,
+        );
         // Post-smooth.
         self.smooth_pass(ctx, l, smooths, true);
     }
@@ -347,11 +373,7 @@ mod tests {
     use gmg_comm::runtime::RankWorld;
     use gmg_mesh::Box3;
 
-    fn solve_with(
-        n: i64,
-        grid: Point3,
-        config: SolverConfig,
-    ) -> Vec<(SolveStats, f64)> {
+    fn solve_with(n: i64, grid: Point3, config: SolverConfig) -> Vec<(SolveStats, f64)> {
         let decomp = Decomposition::new(Box3::cube(n), grid);
         let ranks = decomp.num_ranks();
         let d = &decomp;
@@ -451,8 +473,14 @@ mod tests {
         cfg.smoother = Smoother::RedBlackGaussSeidel;
         cfg.max_vcycles = 3;
         cfg.tolerance = 0.0;
-        let h1 = solve_with(16, Point3::splat(1), cfg)[0].0.residual_history.clone();
-        let h8 = solve_with(16, Point3::splat(2), cfg)[0].0.residual_history.clone();
+        let h1 = solve_with(16, Point3::splat(1), cfg)[0]
+            .0
+            .residual_history
+            .clone();
+        let h8 = solve_with(16, Point3::splat(2), cfg)[0]
+            .0
+            .residual_history
+            .clone();
         for (a, b) in h1.iter().zip(&h8) {
             assert!((a - b).abs() <= 1e-9 * a.max(1e-30), "{a} vs {b}");
         }
@@ -546,7 +574,92 @@ mod tests {
         cfg.max_vcycles = 15;
         cfg.tolerance = 1e-8;
         let out = solve_with(32, Point3::splat(1), cfg);
-        assert!(out[0].0.converged, "history {:?}", out[0].0.residual_history);
+        assert!(
+            out[0].0.converged,
+            "history {:?}",
+            out[0].0.residual_history
+        );
+    }
+
+    #[test]
+    fn trace_counters_match_stencil_analysis_exactly() {
+        // Acceptance check: with CA off the smoothing region is exactly
+        // the owned box (16³ = 4096 points on one rank), so every traced
+        // applyOp span must carry byte/FLOP counters equal to the
+        // gmg-stencil static analysis — exactly, not approximately.
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 2;
+        cfg.max_vcycles = 1;
+        cfg.tolerance = 0.0;
+        cfg.communication_avoiding = false;
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(1));
+        let d = &decomp;
+        let (_, trace) = gmg_trace::capture(|| {
+            RankWorld::run(1, move |mut ctx| {
+                let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+                s.solve(&mut ctx);
+            });
+        });
+        let analysis = gmg_stencil::ops::apply_op_def().analysis();
+        let points = 16u64 * 16 * 16;
+        let applies: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.level == 0 && e.op.name() == "applyOp")
+            .collect();
+        assert!(applies.len() >= 2 * cfg.max_smooths);
+        for e in &applies {
+            assert_eq!(e.counters.stencil_points, points);
+            assert_eq!(e.counters.flops, analysis.flops_per_point as u64 * points);
+            assert_eq!(
+                e.counters.bytes_read + e.counters.bytes_written,
+                analysis.doubles_moved_per_point as u64 * 8 * points
+            );
+        }
+        // And in aggregate.
+        let total = trace.counters_where(|e| e.level == 0 && e.op.name() == "applyOp");
+        let n = applies.len() as u64;
+        assert_eq!(total.flops, n * analysis.flops_per_point as u64 * points);
+        assert_eq!(
+            total.bytes_read + total.bytes_written,
+            n * analysis.doubles_moved_per_point as u64 * 8 * points
+        );
+    }
+
+    #[test]
+    fn trace_fractions_agree_with_timer_report() {
+        // The solver feeds one measurement to both OpTimer and the trace
+        // sink, so the two Table II computations agree to rounding error
+        // (well inside the 1% acceptance bound).
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 2;
+        cfg.max_vcycles = 2;
+        cfg.tolerance = 0.0;
+        let decomp = Decomposition::new(Box3::cube(16), Point3::new(2, 1, 1));
+        let d = &decomp;
+        let (reports, trace) = gmg_trace::capture(|| {
+            RankWorld::run(2, move |mut ctx| {
+                let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+                s.solve(&mut ctx);
+                s.timers.aggregate(&mut ctx)
+            })
+        });
+        let summary = gmg_trace::TraceSummary::from_trace(&trace);
+        assert_eq!(summary.nranks, 2);
+        for level in [0, 1] {
+            let from_timers = reports[0].level_fractions(level);
+            let from_trace = summary.level_fractions(level);
+            assert_eq!(from_timers.len(), from_trace.len(), "level {level}");
+            for ((op_t, f_t), (op_s, f_s)) in from_timers.iter().zip(&from_trace) {
+                assert_eq!(op_t, op_s);
+                assert!(
+                    (f_t - f_s).abs() < 0.01,
+                    "level {level} {op_t}: timers {f_t:.6} vs trace {f_s:.6}"
+                );
+            }
+        }
+        // Comm spans from the exchange runtime rode along in the capture.
+        assert!(summary.comm.messages > 0);
     }
 
     #[test]

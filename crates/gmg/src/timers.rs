@@ -131,7 +131,12 @@ impl TimerReport {
     pub fn level_fractions(&self, level: usize) -> Vec<(String, f64)> {
         let total = self.level_total_avg(level);
         self.level(level)
-            .map(|r| (r.op.clone(), if total > 0.0 { r.avg_s / total } else { 0.0 }))
+            .map(|r| {
+                (
+                    r.op.clone(),
+                    if total > 0.0 { r.avg_s / total } else { 0.0 },
+                )
+            })
             .collect()
     }
 }

@@ -77,19 +77,24 @@ pub fn simulate_hpgmg(
         let pack = 2.0 * (gpu.kernel_overhead_us * 1e-6 + pack_bytes / (gpu.hbm_gbs * 1e9));
         exch_s += wire + pack;
     };
-    let smooth_pass = |li: usize, n: usize, fused: bool, kernel_s: &mut f64, exchange: &mut dyn FnMut(usize)| {
-        let points = extent_at(li).product() as usize;
-        for _ in 0..n {
-            exchange(li);
-            *kernel_s += kernel_time(&gpu, system, OpKind::ApplyOp, points);
-            *kernel_s += kernel_time(
-                &gpu,
-                system,
-                if fused { OpKind::SmoothResidual } else { OpKind::Smooth },
-                points,
-            );
-        }
-    };
+    let smooth_pass =
+        |li: usize, n: usize, fused: bool, kernel_s: &mut f64, exchange: &mut dyn FnMut(usize)| {
+            let points = extent_at(li).product() as usize;
+            for _ in 0..n {
+                exchange(li);
+                *kernel_s += kernel_time(&gpu, system, OpKind::ApplyOp, points);
+                *kernel_s += kernel_time(
+                    &gpu,
+                    system,
+                    if fused {
+                        OpKind::SmoothResidual
+                    } else {
+                        OpKind::Smooth
+                    },
+                    points,
+                );
+            }
+        };
     for _ in 0..vcycles {
         let top = num_levels - 1;
         for l in 0..top {

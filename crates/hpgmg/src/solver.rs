@@ -2,6 +2,7 @@
 //! `gmg-core`'s bricked solver).
 
 use gmg_comm::runtime::{exchange_array, RankCtx};
+use gmg_core::timers::OpTimer;
 use gmg_mesh::{Array3, Box3, Decomposition, Point3};
 use gmg_stencil::exec_array::apply_star7_array;
 use serde::{Deserialize, Serialize};
@@ -59,8 +60,8 @@ impl ArrayLevel {
             for z in slab.lo.z..slab.hi.z {
                 for y in slab.lo.y..slab.hi.y {
                     let row = Point3::new(slab.lo.x, y, z);
-                    let g = (((row.z - lo.z) * ext.y + (row.y - lo.y)) * ext.x
-                        + (row.x - lo.x)) as usize;
+                    let g = (((row.z - lo.z) * ext.y + (row.y - lo.y)) * ext.x + (row.x - lo.x))
+                        as usize;
                     let n = (slab.hi.x - slab.lo.x) as usize;
                     let base = w.offset(row);
                     let ws = &mut w.as_mut_slice()[base..base + n];
@@ -74,9 +75,15 @@ impl ArrayLevel {
 
     fn smooth(&mut self) {
         let gamma = self.gamma;
-        Self::pointwise(&mut self.x, &self.ax, &self.b, self.owned, move |x, ax, b| {
-            *x += gamma * (ax - b);
-        });
+        Self::pointwise(
+            &mut self.x,
+            &self.ax,
+            &self.b,
+            self.owned,
+            move |x, ax, b| {
+                *x += gamma * (ax - b);
+            },
+        );
     }
 
     fn smooth_residual(&mut self) {
@@ -86,9 +93,15 @@ impl ArrayLevel {
         Self::pointwise(&mut self.r, &self.ax, &self.b, self.owned, |r, ax, b| {
             *r = b - ax;
         });
-        Self::pointwise(&mut self.x, &self.ax, &self.b, self.owned, move |x, ax, b| {
-            *x += gamma * (ax - b);
-        });
+        Self::pointwise(
+            &mut self.x,
+            &self.ax,
+            &self.b,
+            self.owned,
+            move |x, ax, b| {
+                *x += gamma * (ax - b);
+            },
+        );
     }
 
     fn residual(&mut self) {
@@ -121,6 +134,11 @@ pub struct HpgmgSolver {
     pub bottom_smooths: usize,
     pub tolerance: f64,
     pub max_vcycles: usize,
+    /// Per-`(level, op)` timings — the same instrument as the bricked
+    /// solver's, so brick-vs-baseline comparisons report per-op
+    /// breakdowns, not just wall time.
+    pub timers: OpTimer,
+    rank: usize,
     tag_counter: u64,
     exchange_seconds: f64,
 }
@@ -163,6 +181,8 @@ impl HpgmgSolver {
             bottom_smooths,
             tolerance,
             max_vcycles,
+            timers: OpTimer::new(),
+            rank,
             tag_counter: 0,
             exchange_seconds: 0.0,
         }
@@ -173,25 +193,58 @@ impl HpgmgSolver {
         self.tag_counter
     }
 
+    /// Record a timed op into the scalar timer and (when a capture is
+    /// active) the trace sink, from one shared measurement — the same
+    /// dual-recording scheme as the bricked solver.
+    fn record_op(&mut self, level: usize, op: &'static str, t0: Instant, t1: Instant, points: u64) {
+        let secs = (t1 - t0).as_secs_f64();
+        self.timers.record(level, op, secs);
+        if gmg_trace::enabled() {
+            gmg_trace::record_span_at(
+                self.rank,
+                level,
+                op,
+                gmg_trace::Track::Compute,
+                t0,
+                secs,
+                gmg_core::trace::op_counters(op, points),
+            );
+        }
+    }
+
     fn exchange_x(&mut self, ctx: &mut RankCtx, li: usize) {
         let tag = self.next_tag();
         let t0 = Instant::now();
         let level = &mut self.levels[li];
         let d = level.decomp.clone();
         exchange_array(ctx, &d, &mut level.x, 1, tag);
-        self.exchange_seconds += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        self.exchange_seconds += (t1 - t0).as_secs_f64();
+        self.record_op(li, "exchange", t0, t1, 0);
     }
 
     fn smooth_pass(&mut self, ctx: &mut RankCtx, li: usize, n: usize, fused: bool) {
         for _ in 0..n {
             self.exchange_x(ctx, li); // every iteration: no CA in HPGMG mode
             let level = &mut self.levels[li];
+            let points = level.owned.volume() as u64;
+            let t0 = Instant::now();
             level.apply_op();
+            let t1 = Instant::now();
             if fused {
                 level.smooth_residual();
             } else {
                 level.smooth();
             }
+            let t2 = Instant::now();
+            self.record_op(li, "applyOp", t0, t1, points);
+            self.record_op(
+                li,
+                if fused { "smooth+residual" } else { "smooth" },
+                t1,
+                t2,
+                points,
+            );
         }
     }
 
@@ -200,13 +253,28 @@ impl HpgmgSolver {
         for l in 0..top {
             self.smooth_pass(ctx, l, self.max_smooths, true);
             let (fine, coarse) = self.levels.split_at_mut(l + 1);
+            let coarse_points = coarse[0].owned.volume() as u64;
+            let t0 = Instant::now();
             restrict_array(&fine[l], &mut coarse[0]);
+            let t1 = Instant::now();
             coarse[0].x.fill(0.0);
+            let t2 = Instant::now();
+            self.record_op(l, "restriction", t0, t1, coarse_points);
+            self.record_op(l + 1, "initZero", t1, t2, coarse_points);
         }
         self.smooth_pass(ctx, top, self.bottom_smooths, false);
         for l in (0..top).rev() {
             let (fine, coarse) = self.levels.split_at_mut(l + 1);
+            let coarse_points = coarse[0].owned.volume() as u64;
+            let t0 = Instant::now();
             interpolate_increment_array(&coarse[0], &mut fine[l]);
+            self.record_op(
+                l,
+                "interpolation+increment",
+                t0,
+                Instant::now(),
+                coarse_points,
+            );
             self.smooth_pass(ctx, l, self.max_smooths, true);
         }
     }
@@ -315,5 +383,69 @@ mod tests {
         let out = run(16, Point3::new(2, 1, 1), 2, 2);
         assert!(out[0].exchange_seconds > 0.0);
         assert!(out[0].exchange_seconds < out[0].total_seconds);
+    }
+
+    #[test]
+    fn baseline_reports_per_op_timer_breakdown() {
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(1));
+        let d = &decomp;
+        let smooths = 8;
+        RankWorld::run(1, move |mut ctx| {
+            let mut s = HpgmgSolver::new(d.clone(), ctx.rank(), 2, smooths, 50, 0.0, 1);
+            s.solve(&mut ctx);
+            // One V-cycle: pre+post smooth at level 0, bottom at level 1.
+            assert_eq!(s.timers.count(0, "applyOp"), 2 * smooths);
+            assert_eq!(s.timers.count(0, "smooth+residual"), 2 * smooths);
+            assert_eq!(s.timers.count(1, "smooth"), 50);
+            assert_eq!(s.timers.count(0, "restriction"), 1);
+            assert_eq!(s.timers.count(0, "interpolation+increment"), 1);
+            assert_eq!(s.timers.count(1, "initZero"), 1);
+            // Exchange every smooth (no CA), plus the residual checks.
+            assert!(s.timers.count(0, "exchange") >= 2 * smooths + 2);
+            // The per-op rows account for most of the exchange wall time.
+            assert!(s.timers.level_total(0) > 0.0);
+        });
+    }
+
+    #[test]
+    fn baseline_trace_shows_pack_unpack_attribution() {
+        // The Figure 4 attribution gap: the baseline's exchange cost is
+        // dominated by pack/unpack staging. A trace of the distributed
+        // baseline must carry comm-track pack and unpack spans alongside
+        // the compute rows.
+        let decomp = Decomposition::new(Box3::cube(16), Point3::new(2, 1, 1));
+        let d = &decomp;
+        let (_, trace) = gmg_trace::capture(|| {
+            RankWorld::run(2, move |mut ctx| {
+                let mut s = HpgmgSolver::new(d.clone(), ctx.rank(), 2, 4, 10, 0.0, 1);
+                s.solve(&mut ctx)
+            });
+        });
+        assert_eq!(trace.ranks().len(), 2);
+        for rank in trace.ranks() {
+            let comm_ops: Vec<_> = trace
+                .track_events(rank, gmg_trace::Track::Comm)
+                .iter()
+                .map(|e| e.op.name())
+                .collect();
+            for needed in ["pack", "send", "recv", "unpack"] {
+                assert!(comm_ops.contains(&needed), "rank {rank} missing {needed}");
+            }
+            let compute_ops: Vec<_> = trace
+                .track_events(rank, gmg_trace::Track::Compute)
+                .iter()
+                .map(|e| e.op.name())
+                .collect();
+            for needed in ["applyOp", "smooth+residual", "restriction", "exchange"] {
+                assert!(
+                    compute_ops.contains(&needed),
+                    "rank {rank} missing {needed}"
+                );
+            }
+        }
+        // Aggregation sees both solvers' worth of message traffic.
+        let summary = gmg_trace::TraceSummary::from_trace(&trace);
+        assert!(summary.comm.messages > 0);
+        assert!(summary.comm.message_bytes > 0);
     }
 }

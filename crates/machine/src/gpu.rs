@@ -260,11 +260,7 @@ mod tests {
         assert!(a.kernel_overhead_us < m.kernel_overhead_us);
         assert!(m.kernel_overhead_us < p.kernel_overhead_us);
         for op in gmg_stencil::ALL_OPS {
-            assert!(
-                a.gstencil_plateau(op) >= m.gstencil_plateau(op),
-                "{:?}",
-                op
-            );
+            assert!(a.gstencil_plateau(op) >= m.gstencil_plateau(op), "{:?}", op);
             assert!(a.gstencil_plateau(op) >= p.gstencil_plateau(op));
         }
     }

@@ -119,7 +119,12 @@ mod tests {
         let h = harmonic_mean_phi(&vals.map(Some));
         let a = vals.iter().sum::<f64>() / 3.0;
         assert!(h < a);
-        assert!(h > *vals.iter().min_by(|a, b| a.partial_cmp(b).unwrap()).unwrap());
+        assert!(
+            h > *vals
+                .iter()
+                .min_by(|a, b| a.partial_cmp(b).unwrap())
+                .unwrap()
+        );
     }
 
     #[test]

@@ -121,7 +121,11 @@ impl<T: Copy + Default + Send + Sync> Array3<T> {
     /// kernels: `[1, sx, sx*sy]`.
     #[inline]
     pub fn strides(&self) -> [usize; 3] {
-        [1, self.ext[0] as usize, (self.ext[0] * self.ext[1]) as usize]
+        [
+            1,
+            self.ext[0] as usize,
+            (self.ext[0] * self.ext[1]) as usize,
+        ]
     }
 
     /// Fill every cell of `region ∩ storage` with `v`.
@@ -142,8 +146,14 @@ impl<T: Copy + Default + Send + Sync> Array3<T> {
     /// region. Used for intra-process halo satisfaction and layout
     /// conversions.
     pub fn copy_region_from(&mut self, src: &Array3<T>, region: Box3) {
-        assert!(self.storage.contains_box(&region), "dst does not cover region");
-        assert!(src.storage.contains_box(&region), "src does not cover region");
+        assert!(
+            self.storage.contains_box(&region),
+            "dst does not cover region"
+        );
+        assert!(
+            src.storage.contains_box(&region),
+            "src does not cover region"
+        );
         region.for_each(|p| {
             let i = self.offset(p);
             self.data[i] = src.data[src.offset(p)];
@@ -165,7 +175,10 @@ impl<T: Copy + Default + Send + Sync> Array3<T> {
     /// Serialize `region` into a flat buffer in lexicographic order
     /// (the *pack* step of a conventional ghost exchange).
     pub fn pack(&self, region: Box3, buf: &mut Vec<T>) {
-        assert!(self.storage.contains_box(&region), "pack region not covered");
+        assert!(
+            self.storage.contains_box(&region),
+            "pack region not covered"
+        );
         buf.clear();
         buf.reserve(region.volume());
         region.for_each(|p| buf.push(self.data[self.offset(p)]));
@@ -173,7 +186,10 @@ impl<T: Copy + Default + Send + Sync> Array3<T> {
 
     /// Deserialize a flat buffer into `region` (the *unpack* step).
     pub fn unpack(&mut self, region: Box3, buf: &[T]) {
-        assert!(self.storage.contains_box(&region), "unpack region not covered");
+        assert!(
+            self.storage.contains_box(&region),
+            "unpack region not covered"
+        );
         assert_eq!(buf.len(), region.volume(), "buffer/region size mismatch");
         let mut it = buf.iter();
         region.for_each(|p| {

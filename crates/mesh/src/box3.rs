@@ -122,8 +122,7 @@ impl Box3 {
     pub fn iter(&self) -> impl Iterator<Item = Point3> + '_ {
         let b = *self;
         (b.lo.z..b.hi.z).flat_map(move |z| {
-            (b.lo.y..b.hi.y)
-                .flat_map(move |y| (b.lo.x..b.hi.x).map(move |x| Point3::new(x, y, z)))
+            (b.lo.y..b.hi.y).flat_map(move |y| (b.lo.x..b.hi.x).map(move |x| Point3::new(x, y, z)))
         })
     }
 
@@ -323,16 +322,10 @@ mod tests {
         let b = Box3::cube(8);
         // -x face, depth 2: the 2-thick interior layer at x ∈ [0,2).
         let send = b.face_region(Point3::new(-1, 0, 0), 2);
-        assert_eq!(
-            send,
-            Box3::new(Point3::zero(), Point3::new(2, 8, 8))
-        );
+        assert_eq!(send, Box3::new(Point3::zero(), Point3::new(2, 8, 8)));
         // Matching ghost region outside.
         let recv = b.halo_region(Point3::new(-1, 0, 0), 2);
-        assert_eq!(
-            recv,
-            Box3::new(Point3::new(-2, 0, 0), Point3::new(0, 8, 8))
-        );
+        assert_eq!(recv, Box3::new(Point3::new(-2, 0, 0), Point3::new(0, 8, 8)));
         // Corner direction, depth 1: single cell regions.
         let c = b.face_region(Point3::splat(1), 1);
         assert_eq!(c.volume(), 1);

@@ -91,7 +91,10 @@ impl Decomposition {
                         let pz = rem / py;
                         // Surface proxy: maximize min dimension, then balance.
                         let dims = [px, py, pz];
-                        let score = dims.iter().map(|d| (d - *dims.iter().max().unwrap()).abs()).sum::<i64>()
+                        let score = dims
+                            .iter()
+                            .map(|d| (d - *dims.iter().max().unwrap()).abs())
+                            .sum::<i64>()
                             + (dims.iter().max().unwrap() - dims.iter().min().unwrap()) * 1000;
                         if score < best_score {
                             best_score = score;

@@ -133,10 +133,7 @@ mod tests {
         assert_eq!(h.level(5).sub_extent, Point3::splat(16));
         // Factor-of-8 volume ratio between adjacent levels.
         for l in 0..5 {
-            assert_eq!(
-                h.level(l).total_cells(),
-                8 * h.level(l + 1).total_cells()
-            );
+            assert_eq!(h.level(l).total_cells(), 8 * h.level(l + 1).total_cells());
         }
     }
 

@@ -48,11 +48,8 @@ impl StencilAnalysis {
                 Expr::Grid { grid, offset } => {
                     refs.push((*grid, *offset));
                     grids.insert(*grid);
-                    radius = radius.max(Point3::new(
-                        offset.x.abs(),
-                        offset.y.abs(),
-                        offset.z.abs(),
-                    ));
+                    radius =
+                        radius.max(Point3::new(offset.x.abs(), offset.y.abs(), offset.z.abs()));
                 }
                 _ => {}
             });

@@ -52,9 +52,7 @@ pub fn run_stencil_array(
     let mut values = vec![0.0; def.assignments.len()];
     region.for_each(|p| {
         for (vi, a) in def.assignments.iter().enumerate() {
-            values[vi] = a
-                .expr
-                .eval(&|g, off| inputs[g][p + off], &|c| coeffs[c]);
+            values[vi] = a.expr.eval(&|g, off| inputs[g][p + off], &|c| coeffs[c]);
         }
         for (vi, a) in def.assignments.iter().enumerate() {
             outputs[a.output][p] = values[vi];
@@ -103,8 +101,7 @@ pub fn apply_star7_array(
                     // equals the slab-relative offset plus the window base;
                     // recompute directly from src for clarity.
                     let r = row0 - src.storage_box().lo;
-                    ((r.z * (src.storage_box().extent().y) + r.y)
-                        * src.storage_box().extent().x
+                    ((r.z * (src.storage_box().extent().y) + r.y) * src.storage_box().extent().x
                         + r.x) as usize
                 };
                 let c = &s[g..g + n];
@@ -116,8 +113,8 @@ pub fn apply_star7_array(
                 let zp = &s[g + sz..g + sz + n];
                 let out = &mut w.as_mut_slice()[base..base + n];
                 for i in 0..n {
-                    out[i] = alpha * c[i]
-                        + beta * ((xm[i] + xp[i]) + (ym[i] + yp[i]) + (zm[i] + zp[i]));
+                    out[i] =
+                        alpha * c[i] + beta * ((xm[i] + xp[i]) + (ym[i] + yp[i]) + (zm[i] + zp[i]));
                 }
             }
         }
@@ -161,8 +158,8 @@ pub fn apply_star7_tiled_array(
                     let x1 = (tx + tile).min(slab.hi.x);
                     for z in tz..z1 {
                         for y in ty..y1 {
-                            let g = (((z - lo.z) * ext.y + (y - lo.y)) * ext.x
-                                + (tx - lo.x)) as usize;
+                            let g =
+                                (((z - lo.z) * ext.y + (y - lo.y)) * ext.x + (tx - lo.x)) as usize;
                             let n = (x1 - tx) as usize;
                             let base = w.offset(Point3::new(tx, y, z));
                             let out = &mut w.as_mut_slice()[base..base + n];
@@ -316,13 +313,7 @@ mod tests {
         let mut r = Array3::new(v, 0);
         let mut x_out = Array3::new(v, 0);
         let gamma = 0.5;
-        run_stencil_array(
-            &def,
-            &[&x, &ax, &b],
-            &[gamma],
-            &mut [&mut r, &mut x_out],
-            v,
-        );
+        run_stencil_array(&def, &[&x, &ax, &b], &[gamma], &mut [&mut r, &mut x_out], v);
         v.for_each(|p| {
             assert_eq!(r[p], b[p] - ax[p]);
             assert_eq!(x_out[p], x[p] + gamma * (ax[p] - b[p]));

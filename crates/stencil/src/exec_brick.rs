@@ -77,7 +77,10 @@ pub fn apply_star7_bricked(
     region: Box3,
 ) {
     let layout = src.layout().clone();
-    assert!(std::sync::Arc::ptr_eq(&layout, dst.layout()), "layout mismatch");
+    assert!(
+        std::sync::Arc::ptr_eq(&layout, dst.layout()),
+        "layout mismatch"
+    );
     assert!(
         layout.storage_cell_box().contains_box(&region.grow(1)),
         "src does not cover {:?}",
@@ -152,8 +155,14 @@ pub fn apply_star7_var_bricked(
     region: Box3,
 ) {
     let layout = x.layout().clone();
-    assert!(std::sync::Arc::ptr_eq(&layout, dst.layout()), "layout mismatch");
-    assert!(std::sync::Arc::ptr_eq(&layout, beta.layout()), "layout mismatch");
+    assert!(
+        std::sync::Arc::ptr_eq(&layout, dst.layout()),
+        "layout mismatch"
+    );
+    assert!(
+        std::sync::Arc::ptr_eq(&layout, beta.layout()),
+        "layout mismatch"
+    );
     assert!(
         layout.storage_cell_box().contains_box(&region.grow(1)),
         "fields do not cover {:?}",
@@ -196,8 +205,14 @@ pub fn apply_star13_bricked(
     region: Box3,
 ) {
     let layout = src.layout().clone();
-    assert!(std::sync::Arc::ptr_eq(&layout, dst.layout()), "layout mismatch");
-    assert!(layout.brick_dim() >= 2, "radius-2 stencil needs bricks >= 2");
+    assert!(
+        std::sync::Arc::ptr_eq(&layout, dst.layout()),
+        "layout mismatch"
+    );
+    assert!(
+        layout.brick_dim() >= 2,
+        "radius-2 stencil needs bricks >= 2"
+    );
     assert!(
         layout.storage_cell_box().contains_box(&region.grow(2)),
         "src does not cover {:?}",
@@ -212,7 +227,8 @@ pub fn apply_star13_bricked(
         let cells = layout.cells_of_slot(slot);
         sub.for_each(|p| {
             let l = p - cells.lo;
-            let interior = l.x >= 2 && l.x < b - 2 && l.y >= 2 && l.y < b - 2 && l.z >= 2 && l.z < b - 2;
+            let interior =
+                l.x >= 2 && l.x < b - 2 && l.y >= 2 && l.y < b - 2 && l.z >= 2 && l.z < b - 2;
             let v = if interior {
                 let i = ((l.z * b + l.y) * b + l.x) as usize;
                 -90.0 * center[i]
@@ -260,8 +276,8 @@ pub fn par_pointwise_mut1(
         let cells = layout.cells_of_slot(slot);
         for z in sub.lo.z..sub.hi.z {
             for y in sub.lo.y..sub.hi.y {
-                let row =
-                    (((z - cells.lo.z) * b + (y - cells.lo.y)) * b + (sub.lo.x - cells.lo.x)) as usize;
+                let row = (((z - cells.lo.z) * b + (y - cells.lo.y)) * b + (sub.lo.x - cells.lo.x))
+                    as usize;
                 let n = (sub.hi.x - sub.lo.x) as usize;
                 for i in row..row + n {
                     f(&mut o[i], r1[base + i], r2[base + i]);
@@ -283,7 +299,10 @@ pub fn par_pointwise_mut2(
     f: impl Fn(&mut f64, &mut f64, f64, f64) + Sync,
 ) {
     let layout = out1.layout().clone();
-    assert!(std::sync::Arc::ptr_eq(&layout, out2.layout()), "layout mismatch");
+    assert!(
+        std::sync::Arc::ptr_eq(&layout, out2.layout()),
+        "layout mismatch"
+    );
     let b = layout.brick_dim();
     let bvol = layout.brick_volume();
     let mut by_slot: Vec<Option<Box3>> = vec![None; layout.num_slots()];
@@ -346,11 +365,23 @@ mod tests {
         let n = 8;
         let src_b = mk_field(n, 4);
         let mut dst_b = BrickedField::new(src_b.layout().clone());
-        run_stencil_bricked(&def, &[&src_b], &[-6.0, 1.0], &mut [&mut dst_b], Box3::cube(n));
+        run_stencil_bricked(
+            &def,
+            &[&src_b],
+            &[-6.0, 1.0],
+            &mut [&mut dst_b],
+            Box3::cube(n),
+        );
 
         let src_a = Array3::from_fn(Box3::cube(n), 4, idx_fn);
         let mut dst_a = Array3::new(Box3::cube(n), 4);
-        run_stencil_array(&def, &[&src_a], &[-6.0, 1.0], &mut [&mut dst_a], Box3::cube(n));
+        run_stencil_array(
+            &def,
+            &[&src_a],
+            &[-6.0, 1.0],
+            &mut [&mut dst_a],
+            Box3::cube(n),
+        );
 
         Box3::cube(n).for_each(|p| {
             assert!((dst_b.get(p) - dst_a[p]).abs() < 1e-12, "at {p:?}");

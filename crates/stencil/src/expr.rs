@@ -21,7 +21,10 @@ pub type CoeffId = usize;
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
     /// Read input grid `grid` at the evaluation point shifted by `offset`.
-    Grid { grid: GridId, offset: Point3 },
+    Grid {
+        grid: GridId,
+        offset: Point3,
+    },
     /// A symbolic coefficient, bound at execution time.
     Coeff(CoeffId),
     /// A literal constant.
@@ -38,7 +41,11 @@ pub enum Expr {
 impl Expr {
     /// Evaluate with `grid(id, offset)` supplying shifted grid reads and
     /// `coeff(id)` supplying coefficient values.
-    pub fn eval(&self, grid: &impl Fn(GridId, Point3) -> f64, coeff: &impl Fn(CoeffId) -> f64) -> f64 {
+    pub fn eval(
+        &self,
+        grid: &impl Fn(GridId, Point3) -> f64,
+        coeff: &impl Fn(CoeffId) -> f64,
+    ) -> f64 {
         match self {
             Expr::Grid { grid: g, offset } => grid(*g, *offset),
             Expr::Coeff(c) => coeff(*c),
@@ -326,16 +333,20 @@ mod tests {
     fn eval_seven_point() {
         let s = seven_point();
         // Grid value = 1 everywhere: α·1 + β·6.
-        let v = s.assignments[0].expr.eval(
-            &|_, _| 1.0,
-            &|c| if c == 0 { -6.0 } else { 1.0 },
-        );
+        let v = s.assignments[0]
+            .expr
+            .eval(&|_, _| 1.0, &|c| if c == 0 { -6.0 } else { 1.0 });
         assert_eq!(v, 0.0);
         // Grid value = x coordinate: Laplacian of linear field = α·x0 + β·6·x0.
-        let v2 = s.assignments[0].expr.eval(
-            &|_, off| 10.0 + off.x as f64,
-            &|c| if c == 0 { -6.0 } else { 1.0 },
-        );
+        let v2 = s.assignments[0]
+            .expr
+            .eval(&|_, off| 10.0 + off.x as f64, &|c| {
+                if c == 0 {
+                    -6.0
+                } else {
+                    1.0
+                }
+            });
         assert!((v2 - 0.0).abs() < 1e-12);
     }
 
@@ -387,10 +398,7 @@ mod tests {
         let s = StencilDef::build("upwind", |b| {
             let x = b.input("x");
             let w = b.input("w");
-            b.assign(
-                "y",
-                w.at(0, 0, 0).select(x.at(-1, 0, 0), x.at(1, 0, 0)),
-            );
+            b.assign("y", w.at(0, 0, 0).select(x.at(-1, 0, 0), x.at(1, 0, 0)));
         });
         let eval = |wv: f64| {
             s.assignments[0].expr.eval(

@@ -318,7 +318,10 @@ mod tests {
         assert_eq!(s.flops_per_point as f64, OpKind::Smooth.traffic().flops);
 
         let r = restriction_def().analysis();
-        assert_eq!(r.flops_per_point as f64, OpKind::Restriction.traffic().flops);
+        assert_eq!(
+            r.flops_per_point as f64,
+            OpKind::Restriction.traffic().flops
+        );
         assert_eq!(r.distinct_refs, 8);
     }
 

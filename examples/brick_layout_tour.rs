@@ -16,11 +16,21 @@ fn main() {
     // paper's configuration on Perlmutter and Frontier.
     let layout = BrickLayout::new(Box3::cube(64), 8, 1, BrickOrdering::SurfaceMajor);
     println!("cells:         {:?}", layout.cell_box());
-    println!("bricks:        {:?} ({} owned)", layout.brick_box(), layout.brick_box().volume());
-    println!("storage slots: {} ({} ghost bricks)", layout.num_slots(),
-        layout.num_slots() - layout.brick_box().volume());
-    println!("ghost depth:   {} cells -> up to {} smooths per exchange",
-        layout.ghost_cells(), layout.ghost_cells());
+    println!(
+        "bricks:        {:?} ({} owned)",
+        layout.brick_box(),
+        layout.brick_box().volume()
+    );
+    println!(
+        "storage slots: {} ({} ghost bricks)",
+        layout.num_slots(),
+        layout.num_slots() - layout.brick_box().volume()
+    );
+    println!(
+        "ghost depth:   {} cells -> up to {} smooths per exchange",
+        layout.ghost_cells(),
+        layout.ghost_cells()
+    );
 
     // Classification census.
     let (mut ghost, mut surface, mut interior) = (0, 0, 0);
@@ -57,10 +67,19 @@ fn main() {
     // The stencil DSL (paper Figure 1).
     let def = apply_op_def();
     let a = def.analysis();
-    println!("\nstencil DSL: {} = {:?} over {:?}", def.name, def.outputs, def.inputs);
+    println!(
+        "\nstencil DSL: {} = {:?} over {:?}",
+        def.name, def.outputs, def.inputs
+    );
     println!("  flops/point:        {}", a.flops_per_point);
     println!("  distinct reads:     {}", a.distinct_refs);
     println!("  ghost radius:       {:?}", a.radius);
-    println!("  theoretical AI:     {:.2} FLOP/B (paper Table IV: 0.50)", a.theoretical_ai());
-    println!("  reuse factor:       {:.0}x (array common subexpressions)", a.reuse_factor());
+    println!(
+        "  theoretical AI:     {:.2} FLOP/B (paper Table IV: 0.50)",
+        a.theoretical_ai()
+    );
+    println!(
+        "  reuse factor:       {:.0}x (array common subexpressions)",
+        a.reuse_factor()
+    );
 }

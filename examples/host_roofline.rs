@@ -17,7 +17,10 @@ use std::time::Instant;
 fn main() {
     println!("measuring host memory system (STREAM triad + memcpy sweep)...");
     let host = measure_host();
-    println!("  triad bandwidth : {:.1} GB/s over {} threads", host.triad_gbs, host.threads);
+    println!(
+        "  triad bandwidth : {:.1} GB/s over {} threads",
+        host.triad_gbs, host.threads
+    );
     println!(
         "  memcpy model    : α = {:.2} µs, β = {:.1} GB/s (single thread)",
         host.copy_alpha_s * 1e6,
@@ -50,7 +53,10 @@ fn main() {
     println!("\nbricked applyOp at {n}^3:");
     println!("  achieved        : {gstencil:.2} GStencil/s");
     println!("  host ceiling    : {ceiling:.2} GStencil/s (compulsory traffic)");
-    println!("  roofline frac.  : {:.0}%  (paper's Table III metric, on this host)", fraction * 100.0);
+    println!(
+        "  roofline frac.  : {:.0}%  (paper's Table III metric, on this host)",
+        fraction * 100.0
+    );
     println!(
         "\n(The paper's GPUs reach 66–90% of their rooflines for applyOp; CPU cache\n\
          behaviour and thread scheduling make the attainable fraction machine-specific.)"

@@ -42,7 +42,7 @@ fn main() {
         brick_dim: 8, // clamped per level to the shrinking subdomain
 
         ordering: BrickOrdering::SurfaceMajor,
-    ..SolverConfig::paper_default()
+        ..SolverConfig::paper_default()
     };
 
     let d = &decomp;
@@ -64,10 +64,7 @@ fn main() {
     print!("{report}");
     println!("\ntotal time per level (avg across ranks):");
     for li in 0..levels {
-        println!(
-            "  level {li}: {:.6} s",
-            report.level_total_avg(li)
-        );
+        println!("  level {li}: {:.6} s", report.level_total_avg(li));
     }
     assert!(stats.converged, "solve must converge");
 }

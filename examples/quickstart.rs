@@ -28,7 +28,7 @@ fn main() {
         communication_avoiding: true,
         brick_dim: 8,
         ordering: BrickOrdering::SurfaceMajor,
-    ..SolverConfig::paper_default()
+        ..SolverConfig::paper_default()
     };
 
     // 3. Run. The rank world is the MPI stand-in: one thread per rank.
@@ -40,7 +40,10 @@ fn main() {
     });
     let (stats, discrete_err) = &results[0];
 
-    println!("converged: {} in {} V-cycles", stats.converged, stats.vcycles);
+    println!(
+        "converged: {} in {} V-cycles",
+        stats.converged, stats.vcycles
+    );
     println!("residual history (max-norm):");
     for (i, r) in stats.residual_history.iter().enumerate() {
         println!("  after {i:>2} V-cycles: {r:10.3e}");

@@ -15,6 +15,7 @@ pub use gmg_hpgmg as hpgmg;
 pub use gmg_machine as machine;
 pub use gmg_mesh as mesh;
 pub use gmg_stencil as stencil;
+pub use gmg_trace as trace;
 
 /// The most common imports for building and running a solver.
 pub mod prelude {

@@ -18,7 +18,14 @@ fn brick_history(n: i64, grid: Point3, cfg: SolverConfig, vcycles: usize) -> Vec
     out.into_iter().next().unwrap()
 }
 
-fn hpgmg_history(n: i64, grid: Point3, levels: usize, smooths: usize, bottom: usize, vcycles: usize) -> Vec<f64> {
+fn hpgmg_history(
+    n: i64,
+    grid: Point3,
+    levels: usize,
+    smooths: usize,
+    bottom: usize,
+    vcycles: usize,
+) -> Vec<f64> {
     let decomp = Decomposition::new(Box3::cube(n), grid);
     let ranks = decomp.num_ranks();
     let d = &decomp;
@@ -60,7 +67,7 @@ fn bricked_and_conventional_solvers_agree_exactly() {
         communication_avoiding: true,
         brick_dim: 4,
         ordering: BrickOrdering::SurfaceMajor,
-    ..SolverConfig::paper_default()
+        ..SolverConfig::paper_default()
     };
     let brick = brick_history(32, Point3::splat(1), cfg, 4);
     let conv = hpgmg_history(32, Point3::splat(1), 3, 6, 30, 4);
@@ -78,7 +85,7 @@ fn agreement_holds_distributed() {
         communication_avoiding: true,
         brick_dim: 4,
         ordering: BrickOrdering::SurfaceMajor,
-    ..SolverConfig::paper_default()
+        ..SolverConfig::paper_default()
     };
     let brick = brick_history(16, Point3::splat(2), cfg, 3);
     let conv = hpgmg_history(16, Point3::splat(2), 2, 5, 20, 3);
@@ -96,7 +103,7 @@ fn rank_count_does_not_change_numerics() {
         communication_avoiding: true,
         brick_dim: 4,
         ordering: BrickOrdering::SurfaceMajor,
-    ..SolverConfig::paper_default()
+        ..SolverConfig::paper_default()
     };
     let h1 = brick_history(16, Point3::splat(1), cfg, 3);
     let h2 = brick_history(16, Point3::new(2, 1, 1), cfg, 3);
@@ -119,7 +126,7 @@ fn brick_size_does_not_change_numerics() {
             communication_avoiding: true,
             brick_dim: bd,
             ordering: BrickOrdering::SurfaceMajor,
-        ..SolverConfig::paper_default()
+            ..SolverConfig::paper_default()
         };
         brick_history(32, Point3::splat(1), cfg, 2)
     };

@@ -95,7 +95,10 @@ fn communication_overhead_dwarfs_kernel_launch() {
         let (alpha, _) = net.effective_alpha_beta(26);
         let kernel = sys.gpu().kernel_overhead_us * 1e-6;
         let ratio = alpha / kernel;
-        assert!(ratio > 2.0, "{sys:?}: comm/kernel overhead ratio {ratio:.1}");
+        assert!(
+            ratio > 2.0,
+            "{sys:?}: comm/kernel overhead ratio {ratio:.1}"
+        );
     }
 }
 

@@ -10,11 +10,10 @@ use std::sync::Arc;
 
 fn field_fn(seed: i64) -> impl Fn(Point3) -> f64 + Sync + Copy {
     move |p: Point3| {
-        let h = p
-            .x
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(p.y.wrapping_mul(1442695040888963407))
-            .wrapping_add(p.z.wrapping_mul(seed | 1));
+        let h =
+            p.x.wrapping_mul(6364136223846793005)
+                .wrapping_add(p.y.wrapping_mul(1442695040888963407))
+                .wrapping_add(p.z.wrapping_mul(seed | 1));
         ((h >> 33) % 1_000) as f64 / 257.0
     }
 }

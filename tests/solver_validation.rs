@@ -18,13 +18,17 @@ fn pde_error(n: i64) -> f64 {
         communication_avoiding: true,
         brick_dim: 4,
         ordering: BrickOrdering::SurfaceMajor,
-    ..SolverConfig::paper_default()
+        ..SolverConfig::paper_default()
     };
     let d = &decomp;
     let out = RankWorld::run(1, move |mut ctx| {
         let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
         let stats = s.solve(&mut ctx);
-        assert!(stats.converged, "must converge at n={n}: {:?}", stats.residual_history);
+        assert!(
+            stats.converged,
+            "must converge at n={n}: {:?}",
+            stats.residual_history
+        );
         let problem = PoissonProblem::new(n);
         s.levels[0].max_error(move |p| problem.exact_solution(p.rem_euclid(Point3::splat(n))))
     });
@@ -57,7 +61,7 @@ fn converges_from_random_like_initial_guess() {
         communication_avoiding: true,
         brick_dim: 4,
         ordering: BrickOrdering::SurfaceMajor,
-    ..SolverConfig::paper_default()
+        ..SolverConfig::paper_default()
     };
     let d = &decomp;
     let out = RankWorld::run(1, move |mut ctx| {
@@ -89,7 +93,7 @@ fn deeper_hierarchies_converge_faster_per_cycle() {
             communication_avoiding: true,
             brick_dim: 4,
             ordering: BrickOrdering::SurfaceMajor,
-        ..SolverConfig::paper_default()
+            ..SolverConfig::paper_default()
         };
         let d = &decomp;
         let out = RankWorld::run(1, move |mut ctx| {
@@ -122,7 +126,7 @@ fn residual_reduction_rate_is_multigrid_like() {
         communication_avoiding: true,
         brick_dim: 4,
         ordering: BrickOrdering::SurfaceMajor,
-    ..SolverConfig::paper_default()
+        ..SolverConfig::paper_default()
     };
     let d = &decomp;
     let out = RankWorld::run(1, move |mut ctx| {
