@@ -1,0 +1,33 @@
+//! Seeded chaos soak: fault-injected distributed solves, self-healing, and
+//! graceful failure reporting.
+//! Run: `cargo run --release -p gmg-bench --bin chaos -- --seed N`.
+//! Set `GMG_TRACE=<path>` to also capture a Perfetto trace of the run
+//! (fault and recovery events appear on the dedicated fault track).
+fn main() {
+    let mut seed = 7u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an unsigned integer");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: chaos [--seed N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let v = gmg_bench::profile::with_env_trace(|| gmg_bench::chaos::run_with_seed(seed));
+    gmg_bench::report::save("chaos", &v);
+    if v["ok"] != serde_json::Value::Bool(true) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Chaos soak harness: the distributed V-cycle under deterministic,
+//! seeded fault injection (`gmg_comm::fault`), exercising every layer of
+//! the robustness story end to end:
+//!
+//! 1. **Transport faults absorbed exactly** — drops, duplicates,
+//!    reorderings, and detected corruption at swept rates must leave the
+//!    converged residual history bit-identical to the fault-free baseline
+//!    (the ARQ layer retransmits; numerics never see the chaos).
+//! 2. **Solver-level self-healing** — a seeded one-shot silent corruption
+//!    of the iterate (past any checksum) trips the health guards and is
+//!    repaired by rollback recovery; the solve still converges.
+//! 3. **Graceful structured failure** — a rank killed mid-exchange must
+//!    surface as a [`WorldFailure`] listing every affected rank, with no
+//!    panic reaching the caller.
+//!
+//! Run: `cargo run --release -p gmg-bench --bin chaos -- --seed N`.
+
+use gmg_brick::BrickedField;
+use gmg_comm::fault::{FaultConfig, FaultPlan};
+use gmg_comm::runtime::RankWorld;
+use gmg_comm::WorldFailure;
+use gmg_core::solver::{GmgSolver, SolveStats, SolverConfig};
+use gmg_core::RecoveryPolicy;
+use gmg_mesh::{Box3, Decomposition, Point3};
+use serde_json::{json, Value};
+use std::time::{Duration, Instant};
+
+const N: i64 = 16;
+
+fn chaos_decomp() -> Decomposition {
+    // The acceptance geometry: a 2×2×2 rank grid.
+    Decomposition::new(Box3::cube(N), Point3::splat(2))
+}
+
+fn chaos_solver_config() -> SolverConfig {
+    let mut cfg = SolverConfig::test_default();
+    cfg.num_levels = 2;
+    cfg.max_vcycles = 12;
+    cfg.tolerance = 1e-8;
+    cfg
+}
+
+/// Distributed solve under a fault plan; per-rank stats or the structured
+/// world failure.
+fn faulted_solve(plan: &FaultPlan, cfg: SolverConfig) -> Result<Vec<SolveStats>, WorldFailure> {
+    let decomp = chaos_decomp();
+    let nranks = decomp.num_ranks();
+    let d = &decomp;
+    RankWorld::run_with_faults(nranks, plan, move |mut ctx| {
+        let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+        s.solve(&mut ctx)
+    })
+}
+
+/// Fault-free reference run (same geometry and config).
+fn baseline_solve(cfg: SolverConfig) -> Vec<SolveStats> {
+    let decomp = chaos_decomp();
+    let nranks = decomp.num_ranks();
+    let d = &decomp;
+    RankWorld::run(nranks, move |mut ctx| {
+        let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+        s.solve(&mut ctx)
+    })
+}
+
+/// One transport-fault soak run: drop + duplicate + delay + corrupt all at
+/// `rate`, seeded; reports whether the world survived, converged, and
+/// reproduced the baseline history exactly.
+fn transport_run(rate: f64, seed: u64, cfg: SolverConfig, baseline: &[f64]) -> Value {
+    let plan = FaultPlan::new(FaultConfig::lossy(rate), seed);
+    let t0 = Instant::now();
+    let outcome = faulted_solve(&plan, cfg);
+    let seconds = t0.elapsed().as_secs_f64();
+    match outcome {
+        Ok(stats) => {
+            let exact = stats.iter().all(|s| s.residual_history == baseline);
+            let converged = stats.iter().all(|s| s.converged);
+            println!(
+                "  rate {rate:>5.3}  seed {seed:>20}  survived  converged={converged}  \
+                 exact={exact}  {seconds:.2}s"
+            );
+            json!({
+                "rate": rate, "seed": seed, "survived": true,
+                "converged": converged, "exact_match": exact, "seconds": seconds,
+            })
+        }
+        Err(f) => {
+            println!("  rate {rate:>5.3}  seed {seed:>20}  FAILED: {f}");
+            json!({
+                "rate": rate, "seed": seed, "survived": false,
+                "converged": false, "exact_match": false, "seconds": seconds,
+                "failure": f.to_string(),
+            })
+        }
+    }
+}
+
+/// The self-healing demonstration: a seeded one-shot corruption of one
+/// rank's iterate (a "silent" upset that no transport checksum can catch)
+/// under lossy transport, with rollback recovery enabled.
+fn recovery_run(seed: u64) -> Value {
+    let mut cfg = chaos_solver_config();
+    cfg.recovery = RecoveryPolicy::Rollback;
+    cfg.checkpoint_interval = 1;
+    cfg.max_vcycles = 25;
+    let victim = (seed % 8) as usize;
+    let at_cycle = 2 + (seed % 3) as usize;
+    let plan = FaultPlan::new(FaultConfig::lossy(0.01), seed);
+    let decomp = chaos_decomp();
+    let nranks = decomp.num_ranks();
+    let d = &decomp;
+    let outcome = RankWorld::run_with_faults(nranks, &plan, move |mut ctx| {
+        let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+        let rank = ctx.rank();
+        s.fault_hook = Some(Box::new(move |cycle, level| {
+            if cycle == at_cycle && rank == victim {
+                // Scale the iterate by 1e9: a silent data corruption the
+                // transport layer cannot see.
+                let old = level.x.clone();
+                level.x = BrickedField::from_fn(level.layout.clone(), move |p| old.get(p) * 1e9);
+            }
+        }));
+        s.solve(&mut ctx)
+    });
+    match outcome {
+        Ok(stats) => {
+            let s0 = &stats[0];
+            let agree = stats
+                .iter()
+                .all(|s| s.residual_history == s0.residual_history);
+            println!(
+                "  corrupt rank {victim} at cycle {at_cycle}: converged={} after {} cycles, \
+                 {} rollback(s), health {:?}, ranks agree={agree}",
+                s0.converged, s0.vcycles, s0.recoveries, s0.health
+            );
+            json!({
+                "seed": seed, "victim": victim, "at_cycle": at_cycle, "survived": true,
+                "converged": s0.converged, "recoveries": s0.recoveries,
+                "health": format!("{:?}", s0.health),
+                "final_residual": s0.final_residual(), "ranks_agree": agree,
+            })
+        }
+        Err(f) => {
+            println!("  recovery run FAILED: {f}");
+            json!({ "seed": seed, "survived": false, "failure": f.to_string() })
+        }
+    }
+}
+
+/// The graceful-failure demonstration: kill one rank mid-exchange and show
+/// the world reports a structured [`WorldFailure`] instead of hanging or
+/// propagating a bare panic.
+fn kill_run(seed: u64) -> Value {
+    let victim = (seed % 8) as usize;
+    let at_op = 40 + seed % 29; // lands inside the first cycle's exchanges
+    let mut plan = FaultPlan::new(FaultConfig::kill_rank(victim, at_op), seed);
+    // Tighten the timeouts so peer ranks discover the death quickly.
+    plan.retry.op_timeout = Duration::from_millis(500);
+    plan.retry.max_attempts = 6;
+    let outcome = faulted_solve(&plan, chaos_solver_config());
+    match outcome {
+        Ok(_) => {
+            println!("  kill rank {victim} at op {at_op}: world unexpectedly survived");
+            json!({ "seed": seed, "victim": victim, "structured_failure": false })
+        }
+        Err(f) => {
+            let ranks = f.ranks();
+            let killed_reported = ranks.contains(&victim);
+            println!(
+                "  kill rank {victim} at op {at_op}: {} of {} ranks reported, \
+                 failed ranks {ranks:?} (no panic reached the caller)",
+                f.failures.len(),
+                f.nranks
+            );
+            json!({
+                "seed": seed, "victim": victim, "at_op": at_op,
+                "structured_failure": true, "failed_ranks": ranks,
+                "killed_rank_reported": killed_reported,
+                "report": f.to_string(),
+            })
+        }
+    }
+}
+
+/// Run the full chaos campaign with the given base seed.
+pub fn run_with_seed(seed: u64) -> Value {
+    crate::report::heading(&format!(
+        "Chaos — seeded fault injection soak (base seed {seed})"
+    ));
+    let cfg = chaos_solver_config();
+    let baseline = baseline_solve(cfg);
+    let base_history = baseline[0].residual_history.clone();
+    assert!(
+        baseline.iter().all(|s| s.residual_history == base_history),
+        "baseline ranks disagree"
+    );
+    println!(
+        "baseline: converged={} in {} cycles, final residual {:.3e}\n",
+        baseline[0].converged,
+        baseline[0].vcycles,
+        baseline[0].final_residual()
+    );
+
+    println!("transport faults (drop+dup+delay+corrupt, ARQ must absorb exactly):");
+    let mut sweep = Vec::new();
+    for (i, &rate) in [0.002, 0.01, 0.03].iter().enumerate() {
+        for k in 0..3u64 {
+            let run_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(1000 * i as u64 + k);
+            sweep.push(transport_run(rate, run_seed, cfg, &base_history));
+        }
+    }
+    let sweep_ok = sweep
+        .iter()
+        .all(|r| r["survived"] == true && r["exact_match"] == true);
+
+    println!("\nself-healing (silent iterate corruption + rollback recovery):");
+    let recovery = recovery_run(seed);
+    let recovery_ok =
+        recovery["converged"] == true && recovery["recoveries"].as_u64().unwrap_or(0) >= 1;
+
+    println!("\ngraceful failure (rank killed mid-exchange):");
+    let kill = kill_run(seed);
+    let kill_ok = kill["structured_failure"] == true && kill["killed_rank_reported"] == true;
+
+    let ok = sweep_ok && recovery_ok && kill_ok;
+    println!(
+        "\nchaos verdict: transport={} recovery={} kill-report={} → {}",
+        sweep_ok,
+        recovery_ok,
+        kill_ok,
+        if ok { "OK" } else { "NOT OK" }
+    );
+    let baseline_v = json!({
+        "converged": baseline[0].converged,
+        "vcycles": baseline[0].vcycles,
+        "final_residual": baseline[0].final_residual(),
+    });
+    json!({
+        "seed": seed,
+        "baseline": baseline_v,
+        "transport_sweep": sweep,
+        "transport_ok": sweep_ok,
+        "recovery": recovery,
+        "recovery_ok": recovery_ok,
+        "kill": kill,
+        "kill_ok": kill_ok,
+        "ok": ok,
+    })
+}
+
+/// Default campaign (seed 7).
+pub fn run() -> Value {
+    run_with_seed(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossy_transport_reproduces_baseline_exactly() {
+        let cfg = chaos_solver_config();
+        let baseline = baseline_solve(cfg);
+        let hist = &baseline[0].residual_history;
+        let v = transport_run(0.01, 42, cfg, hist);
+        assert_eq!(v["survived"], true, "{v}");
+        assert_eq!(v["exact_match"], true, "{v}");
+        assert_eq!(v["converged"], true, "{v}");
+    }
+
+    #[test]
+    fn rollback_recovery_demo_converges() {
+        let v = recovery_run(5);
+        assert_eq!(v["survived"], true, "{v}");
+        assert_eq!(v["converged"], true, "{v}");
+        assert!(v["recoveries"].as_u64().unwrap() >= 1, "{v}");
+        assert_eq!(v["ranks_agree"], true, "{v}");
+    }
+
+    #[test]
+    fn killed_rank_yields_structured_report() {
+        let v = kill_run(11);
+        assert_eq!(v["structured_failure"], true, "{v}");
+        assert_eq!(v["killed_rank_reported"], true, "{v}");
+    }
+}

@@ -19,16 +19,19 @@
 //!
 //! Plus [`ablations`] — the Section V design-choice studies (CA on/off,
 //! GPU-aware MPI, rendezvous thresholds, brick size, ordering, CPU
-//! offload), run via `--bin ablations` — and [`profile`] — a traced solve
+//! offload), run via `--bin ablations` — [`profile`] — a traced solve
 //! with Perfetto (Chrome trace-event) export and a roofline check, run via
-//! `--bin profile`. Every binary honours `GMG_TRACE=<path>` to capture a
-//! trace of its run.
+//! `--bin profile` — and [`chaos`] — the seeded fault-injection soak
+//! (transport faults, solver self-healing, graceful rank death), run via
+//! `--bin chaos -- --seed N`. Every binary honours `GMG_TRACE=<path>` to
+//! capture a trace of its run.
 //!
 //! Each `run()` prints the same rows/series the paper reports and returns a
 //! JSON value; binaries also persist it under `results/`. Criterion
 //! micro-benchmarks of the *real* CPU kernels live in `benches/`.
 
 pub mod ablations;
+pub mod chaos;
 pub mod figure3;
 pub mod figure4;
 pub mod figure5;

@@ -16,11 +16,18 @@
 //!   ISend/IRecv/WaitAll semantics (channels + tag matching) used to execute
 //!   the *actual* distributed V-cycle numerics at test scale, including the
 //!   26-neighbor bricked and conventional ghost exchanges.
+//! * [`fault`] — a deterministic, seedable fault-injection layer (drop /
+//!   reorder / duplicate / corrupt / stall / kill) plus the typed
+//!   [`CommError`] / [`WorldFailure`] vocabulary; the runtime's reliable
+//!   protocol (sequence numbers, checksums, ACK + bounded retransmission)
+//!   absorbs the recoverable faults and reports the rest structurally.
 
+pub mod fault;
 pub mod model;
 pub mod plan;
 pub mod runtime;
 
+pub use fault::{CommError, FaultConfig, FaultPlan, RankFailure, RetryPolicy, WorldFailure};
 pub use model::{NetworkModel, Protocol};
 pub use plan::{ArrayExchangePlan, BrickExchangePlan};
 pub use runtime::{exchange_array, exchange_bricked, RankCtx, RankWorld};

@@ -7,30 +7,109 @@
 //! neighbors, periodic wrap, deterministic tag matching, and a correct
 //! treatment of self-neighbors (subdomains that wrap onto themselves).
 //!
+//! ## Resilience
+//!
+//! The runtime speaks a reliable protocol over an (optionally) faulty
+//! transport. When a [`FaultPlan`] is installed (`RankWorld::run_with_faults`),
+//! every payload message carries a sequence number and an FNV checksum,
+//! receivers ACK and deduplicate, and senders retransmit unACKed messages
+//! with exponential backoff — so injected drops, reorderings, duplicates,
+//! and detectable corruption are absorbed without the solver noticing.
+//! Failures that *cannot* be absorbed (a killed rank, exhausted retries, a
+//! receive deadline) surface as typed [`CommError`]s from the `try_*` API;
+//! the panicking convenience wrappers (`send`/`recv`) are thin
+//! `try_*().unwrap()` shims for call sites that treat comm failure as
+//! fatal. `RankWorld::try_run` collects *all* per-rank failures into one
+//! structured [`WorldFailure`] instead of propagating the first join
+//! panic.
+//!
+//! Without a fault plan the wire format is the same but the machinery is
+//! off: no checksum verification, no ACK traffic, no retransmit state —
+//! the in-process channel transport is already reliable, so the fault-free
+//! path stays byte-for-byte as fast and as traceable as before.
+//!
 //! This runtime exists for *numerical correctness* of the distributed
 //! V-cycle at test scale; performance at scale is the business of
 //! [`crate::model`].
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gmg_brick::BrickedField;
 use gmg_mesh::ghost::{direction_index, DIRECTIONS_26};
 use gmg_mesh::{Array3, Box3, Decomposition, Point3};
 use gmg_trace::{Counters, Span, Track, LEVEL_NONE};
 
-/// A message: source rank, tag, payload.
-type Msg = (usize, u64, Vec<f64>);
+use crate::fault::{
+    checksum, flip_bit, CommError, ControlFault, FaultInjector, FaultPlan, RankFailure,
+    RetryPolicy, WorldFailure,
+};
 
 /// Reserved tag space for collectives; user tags must stay below this.
 const COLLECTIVE_TAG: u64 = u64::MAX - 1024;
+
+/// What actually travels over a channel.
+#[derive(Clone, Debug)]
+enum Wire {
+    /// A payload message. `seq` is per-sender monotone; `checksum` covers
+    /// `(src, tag, seq, payload)`.
+    Data {
+        src: usize,
+        tag: u64,
+        seq: u64,
+        checksum: u64,
+        payload: Vec<f64>,
+    },
+    /// Acknowledges receipt of the sender's `seq`. `src` is the ACKing
+    /// rank.
+    Ack { src: usize, seq: u64 },
+}
+
+/// An unACKed reliable send, kept for retransmission.
+struct PendingSend {
+    to: usize,
+    tag: u64,
+    seq: u64,
+    payload: Vec<f64>,
+    /// Transmissions so far.
+    attempts: u32,
+    next_retry: Instant,
+}
+
+/// A fate-delayed wire awaiting release (models in-flight reordering).
+struct DelayedWire {
+    to: usize,
+    wire: Wire,
+    /// Released once the sender's transmission counter reaches this …
+    release_at_transmission: u64,
+    /// … or this much time passes, whichever first (so a sender that goes
+    /// quiet cannot strand a delayed message forever).
+    release_at_time: Instant,
+}
 
 /// Per-rank communication context handed to the rank body.
 pub struct RankCtx {
     rank: usize,
     nranks: usize,
-    peers: Vec<Sender<Msg>>,
-    inbox: Receiver<Msg>,
+    peers: Vec<Sender<Wire>>,
+    inbox: Receiver<Wire>,
     /// Messages received but not yet matched.
-    stash: Vec<Msg>,
+    stash: Vec<(usize, u64, Vec<f64>)>,
+    /// Next outgoing sequence number (reliable mode).
+    next_seq: u64,
+    /// `(src, seq)` pairs already delivered (reliable-mode dedup).
+    seen: HashSet<(usize, u64)>,
+    /// Re-ACK counts per `(src, seq)`, so repeated ACK drops redraw.
+    ack_attempts: HashMap<(usize, u64), u32>,
+    pending: Vec<PendingSend>,
+    delayed: Vec<DelayedWire>,
+    injector: Option<FaultInjector>,
+    retry: RetryPolicy,
+    /// Set when this rank is killed by fault injection: suppresses the
+    /// drop-time drain so peers observe a hard failure.
+    dead: bool,
 }
 
 impl RankCtx {
@@ -42,6 +121,11 @@ impl RankCtx {
     /// Number of ranks in the world.
     pub fn nranks(&self) -> usize {
         self.nranks
+    }
+
+    /// Whether the reliable (ARQ) protocol layer is engaged.
+    fn reliable(&self) -> bool {
+        self.injector.is_some()
     }
 
     /// Open a comm-track span for one message. Collective tags live near
@@ -59,45 +143,355 @@ impl RankCtx {
         sp
     }
 
+    /// Record an injected fault / recovery action on the fault track.
+    fn fault_event(&self, op: &'static str, peer: Option<usize>, tag: Option<u64>) {
+        let tag = tag.filter(|t| *t < COLLECTIVE_TAG);
+        gmg_trace::record_instant(self.rank, LEVEL_NONE, op, Track::Fault, peer, tag);
+    }
+
+    /// Apply any pending control fault (stall / kill) at a comm-op entry.
+    fn check_control(&mut self) -> Result<(), CommError> {
+        let Some(inj) = &mut self.injector else {
+            return Ok(());
+        };
+        match inj.control() {
+            ControlFault::None => Ok(()),
+            ControlFault::Stall(d) => {
+                self.fault_event("fault:stall", None, None);
+                std::thread::sleep(d);
+                Ok(())
+            }
+            ControlFault::Kill => {
+                let at_op = inj.control_ops();
+                self.dead = true;
+                self.fault_event("fault:kill", None, None);
+                Err(CommError::Killed {
+                    rank: self.rank,
+                    at_op,
+                })
+            }
+        }
+    }
+
     /// Non-blocking tagged send (`MPI_Isend` with buffered semantics).
-    pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
+    /// In reliable mode the message is tracked until ACKed and
+    /// retransmitted as needed; delivery failure surfaces later, from the
+    /// operation that was blocked by it ([`CommError::RetriesExhausted`] or
+    /// [`CommError::Timeout`]).
+    pub fn try_send(&mut self, to: usize, tag: u64, payload: Vec<f64>) -> Result<(), CommError> {
+        self.check_control()?;
         let mut sp = self.comm_span("send", to, tag);
         sp.counters(Counters {
             messages: 1,
             message_bytes: (payload.len() * 8) as u64,
             ..Default::default()
         });
-        self.peers[to]
-            .send((self.rank, tag, payload))
-            .expect("receiver hung up");
-    }
-
-    /// Blocking receive matching `(from, tag)`.
-    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
-        let mut sp = self.comm_span("recv", from, tag);
-        let payload = self.recv_untraced(from, tag);
-        sp.counters(Counters {
-            messages: 1,
-            message_bytes: (payload.len() * 8) as u64,
-            ..Default::default()
+        if !self.reliable() {
+            return self.peers[to]
+                .send(Wire::Data {
+                    src: self.rank,
+                    tag,
+                    seq: 0,
+                    checksum: 0,
+                    payload,
+                })
+                .map_err(|_| CommError::Disconnected { peer: to });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(PendingSend {
+            to,
+            tag,
+            seq,
+            payload,
+            attempts: 0,
+            next_retry: Instant::now(),
         });
-        payload
+        self.transmit_pending(self.pending.len() - 1);
+        Ok(())
     }
 
-    fn recv_untraced(&mut self, from: usize, tag: u64) -> Vec<f64> {
+    /// Panicking wrapper around [`RankCtx::try_send`].
+    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<f64>) {
+        if let Err(e) = self.try_send(to, tag, payload) {
+            panic!("comm failure: {e}");
+        }
+    }
+
+    /// One (re)transmission of `pending[idx]`, with its injected fate
+    /// applied. Channel-level send failures are ignored here: a vanished
+    /// peer is indistinguishable from a drop, and is surfaced by the
+    /// blocked operation's timeout / retry budget instead.
+    fn transmit_pending(&mut self, idx: usize) {
+        let (to, tag, seq, attempt) = {
+            let p = &mut self.pending[idx];
+            p.attempts += 1;
+            (p.to, p.tag, p.seq, p.attempts - 1)
+        };
+        let backoff = self.retry.backoff_base * 2u32.saturating_pow(attempt.min(16));
+        self.pending[idx].next_retry = Instant::now() + backoff;
+        if attempt > 0 {
+            self.fault_event("fault:retransmit", Some(to), Some(tag));
+        }
+        let fate = self
+            .injector
+            .as_mut()
+            .expect("transmit_pending requires reliable mode")
+            .fate(seq, attempt);
+        if fate.drop {
+            self.fault_event("fault:drop", Some(to), Some(tag));
+            return;
+        }
+        let mut payload = self.pending[idx].payload.clone();
+        let mut cs = checksum(self.rank, tag, seq, &payload);
+        if fate.sdc {
+            // Silent data corruption: the checksum is recomputed over the
+            // flipped payload, so only solver-level health guards can see
+            // it.
+            flip_bit(&mut payload, fate.entropy);
+            cs = checksum(self.rank, tag, seq, &payload);
+            self.fault_event("fault:sdc", Some(to), Some(tag));
+        } else if fate.corrupt {
+            flip_bit(&mut payload, fate.entropy);
+            self.fault_event("fault:corrupt", Some(to), Some(tag));
+        }
+        let wire = Wire::Data {
+            src: self.rank,
+            tag,
+            seq,
+            checksum: cs,
+            payload,
+        };
+        if fate.duplicates > 0 {
+            self.fault_event("fault:dup", Some(to), Some(tag));
+        }
+        for _ in 0..1 + fate.duplicates {
+            if fate.delay_slots > 0 {
+                self.fault_event("fault:delay", Some(to), Some(tag));
+                let inj = self.injector.as_ref().unwrap();
+                self.delayed.push(DelayedWire {
+                    to,
+                    wire: wire.clone(),
+                    release_at_transmission: inj.transmissions() + fate.delay_slots as u64,
+                    release_at_time: Instant::now()
+                        + self.retry.backoff_base * (fate.delay_slots + 1),
+                });
+            } else {
+                let _ = self.peers[to].send(wire.clone());
+            }
+        }
+    }
+
+    /// Drive protocol progress: release due delayed wires and retransmit
+    /// overdue unACKed sends. No-op in fault-free mode.
+    fn pump(&mut self) -> Result<(), CommError> {
+        if !self.reliable() {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let tx = self.injector.as_ref().unwrap().transmissions();
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if tx >= self.delayed[i].release_at_transmission
+                || now >= self.delayed[i].release_at_time
+            {
+                let d = self.delayed.swap_remove(i);
+                let _ = self.peers[d.to].send(d.wire);
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.pending.len() {
+            if now >= self.pending[i].next_retry {
+                let p = &self.pending[i];
+                if p.attempts >= self.retry.max_attempts {
+                    return Err(CommError::RetriesExhausted {
+                        to: p.to,
+                        tag: p.tag,
+                        seq: p.seq,
+                        attempts: p.attempts,
+                    });
+                }
+                self.transmit_pending(i);
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Process one incoming wire. Returns a deliverable `(src, tag,
+    /// payload)` or `None` (ACKs, rejected corruption, deduplicated
+    /// copies).
+    fn handle_wire(&mut self, w: Wire) -> Option<(usize, u64, Vec<f64>)> {
+        match w {
+            Wire::Data {
+                src,
+                tag,
+                seq,
+                checksum: cs,
+                payload,
+            } => {
+                if !self.reliable() {
+                    return Some((src, tag, payload));
+                }
+                if checksum(src, tag, seq, &payload) != cs {
+                    // Discard without ACK: the sender's retry timer will
+                    // retransmit a clean copy.
+                    self.fault_event("fault:reject", Some(src), Some(tag));
+                    return None;
+                }
+                // ACK every valid copy, duplicates included — a duplicate
+                // usually means our previous ACK was lost in flight.
+                let attempt = {
+                    let a = self.ack_attempts.entry((src, seq)).or_insert(0);
+                    let cur = *a;
+                    *a += 1;
+                    cur
+                };
+                let drop_ack = self
+                    .injector
+                    .as_mut()
+                    .unwrap()
+                    .ack_dropped(src, seq, attempt);
+                if drop_ack {
+                    self.fault_event("fault:ack-drop", Some(src), None);
+                } else {
+                    let _ = self.peers[src].send(Wire::Ack {
+                        src: self.rank,
+                        seq,
+                    });
+                }
+                if !self.seen.insert((src, seq)) {
+                    self.fault_event("fault:dedup", Some(src), Some(tag));
+                    return None;
+                }
+                Some((src, tag, payload))
+            }
+            Wire::Ack { src, seq } => {
+                self.pending.retain(|p| !(p.to == src && p.seq == seq));
+                None
+            }
+        }
+    }
+
+    /// Blocking receive matching `(from, tag)` — panicking wrapper.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        match self.recv_traced(from, tag, None) {
+            Ok(p) => p,
+            Err(e) => panic!("comm failure: {e}"),
+        }
+    }
+
+    /// Receive matching `(from, tag)`, failing with
+    /// [`CommError::Timeout`] if no matching message arrives in time.
+    /// A message that arrives but does not match is stashed, never lost.
+    pub fn recv_timeout(
+        &mut self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
+        self.recv_traced(from, tag, Some(Instant::now() + timeout))
+    }
+
+    /// Non-blocking receive: `Ok(None)` when no matching message is
+    /// currently available.
+    pub fn try_recv(&mut self, from: usize, tag: u64) -> Result<Option<Vec<f64>>, CommError> {
+        self.check_control()?;
+        self.pump()?;
+        while let Ok(w) = self.inbox.try_recv() {
+            if let Some(m) = self.handle_wire(w) {
+                self.stash.push(m);
+            }
+        }
         if let Some(pos) = self
             .stash
             .iter()
             .position(|(f, t, _)| *f == from && *t == tag)
         {
-            return self.stash.swap_remove(pos).2;
+            return Ok(Some(self.stash.swap_remove(pos).2));
         }
+        Ok(None)
+    }
+
+    fn recv_traced(
+        &mut self,
+        from: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<f64>, CommError> {
+        let mut sp = self.comm_span("recv", from, tag);
+        let payload = self.recv_deadline(from, tag, deadline)?;
+        sp.counters(Counters {
+            messages: 1,
+            message_bytes: (payload.len() * 8) as u64,
+            ..Default::default()
+        });
+        Ok(payload)
+    }
+
+    fn recv_deadline(
+        &mut self,
+        from: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<f64>, CommError> {
+        self.check_control()?;
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|(f, t, _)| *f == from && *t == tag)
+        {
+            return Ok(self.stash.swap_remove(pos).2);
+        }
+        // Under fault injection a blocking receive must not block forever:
+        // the matching send may be gone for good (killed peer, exhausted
+        // retries elsewhere). Fault-free receives keep the original
+        // indefinite-blocking semantics.
+        let deadline = deadline.or_else(|| {
+            self.reliable()
+                .then(|| Instant::now() + self.retry.op_timeout)
+        });
+        let start = Instant::now();
         loop {
-            let m = self.inbox.recv().expect("world shut down while receiving");
-            if m.0 == from && m.1 == tag {
-                return m.2;
+            self.pump()?;
+            let got = if self.reliable() || deadline.is_some() {
+                // Short slices keep the retransmission pump live while
+                // blocked.
+                let mut slice = Duration::from_millis(1);
+                if let Some(d) = deadline {
+                    slice = slice.min(d.saturating_duration_since(Instant::now()));
+                }
+                match self.inbox.recv_timeout(slice) {
+                    Ok(w) => Some(w),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(CommError::Disconnected { peer: from })
+                    }
+                }
+            } else {
+                match self.inbox.recv() {
+                    Ok(w) => Some(w),
+                    Err(_) => return Err(CommError::Disconnected { peer: from }),
+                }
+            };
+            if let Some(w) = got {
+                if let Some((src, t, payload)) = self.handle_wire(w) {
+                    if src == from && t == tag {
+                        return Ok(payload);
+                    }
+                    self.stash.push((src, t, payload));
+                }
+            } else if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(CommError::Timeout {
+                        from,
+                        tag,
+                        waited_ms: start.elapsed().as_millis() as u64,
+                    });
+                }
             }
-            self.stash.push(m);
         }
     }
 
@@ -136,18 +530,94 @@ impl RankCtx {
     }
 }
 
+impl Drop for RankCtx {
+    /// Reliable-mode drain: a finishing rank keeps servicing the protocol
+    /// (release delayed wires, retransmit unACKed sends, ACK late
+    /// arrivals) until its own sends are confirmed and the wire goes
+    /// quiet, so a lost final ACK cannot strand a peer. Skipped for
+    /// fault-free worlds, killed ranks, and panicking unwinds — those
+    /// must look like hard failures to their peers.
+    fn drop(&mut self) {
+        if !self.reliable() || self.dead || std::thread::panicking() {
+            return;
+        }
+        let deadline = Instant::now() + self.retry.drain_timeout;
+        let quiet = self.retry.backoff_base * 20;
+        let mut last_activity = Instant::now();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if self.pending.is_empty()
+                && self.delayed.is_empty()
+                && now.duration_since(last_activity) >= quiet
+            {
+                break;
+            }
+            if let Err(CommError::RetriesExhausted { to, seq, .. }) = self.pump() {
+                // The peer is gone for good; nothing left to confirm.
+                self.pending.retain(|p| !(p.to == to && p.seq == seq));
+                continue;
+            }
+            match self.inbox.recv_timeout(Duration::from_millis(1)) {
+                Ok(w) => {
+                    last_activity = Instant::now();
+                    // Late deliveries are ACKed (inside handle_wire) and
+                    // then discarded — no one will read them here.
+                    let _ = self.handle_wire(w);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+}
+
 /// The world: spawns `nranks` threads, each running `body`, and collects
 /// their results in rank order.
 pub struct RankWorld;
 
 impl RankWorld {
     /// Run `body(ctx)` on every rank concurrently and return the per-rank
-    /// results. Panics in any rank propagate.
+    /// results. Any rank failure panics with the full [`WorldFailure`]
+    /// report; use [`RankWorld::try_run`] to handle it structurally.
     ///
     /// If the calling thread has a `gmg_trace` capture scope installed,
     /// it is re-installed inside every rank thread, so one `capture`
     /// around `run` sees spans from all ranks.
     pub fn run<T: Send>(nranks: usize, body: impl Fn(RankCtx) -> T + Sync) -> Vec<T> {
+        Self::try_run(nranks, body).unwrap_or_else(|f| panic!("{f}"))
+    }
+
+    /// Like [`RankWorld::run`], but collects every rank's panic into a
+    /// structured [`WorldFailure`] instead of panicking: the caller sees
+    /// *all* failed ranks with their payloads, not just whichever join
+    /// was observed first.
+    pub fn try_run<T: Send>(
+        nranks: usize,
+        body: impl Fn(RankCtx) -> T + Sync,
+    ) -> Result<Vec<T>, WorldFailure> {
+        Self::run_under(nranks, None, body)
+    }
+
+    /// Run under deterministic fault injection: each rank's transport is
+    /// wrapped by `plan`'s injector and the reliable (seq + checksum +
+    /// ACK + retry) protocol engages. Recoverable faults are absorbed;
+    /// unrecoverable ones produce a structured [`WorldFailure`].
+    pub fn run_with_faults<T: Send>(
+        nranks: usize,
+        plan: &FaultPlan,
+        body: impl Fn(RankCtx) -> T + Sync,
+    ) -> Result<Vec<T>, WorldFailure> {
+        Self::run_under(nranks, Some(plan), body)
+    }
+
+    fn run_under<T: Send>(
+        nranks: usize,
+        plan: Option<&FaultPlan>,
+        body: impl Fn(RankCtx) -> T + Sync,
+    ) -> Result<Vec<T>, WorldFailure> {
         assert!(nranks >= 1);
         let mut senders = Vec::with_capacity(nranks);
         let mut receivers = Vec::with_capacity(nranks);
@@ -165,20 +635,61 @@ impl RankWorld {
             for (rank, inbox) in receivers.into_iter().enumerate() {
                 handles.push(s.spawn(move || {
                     let _trace = trace_scope_ref.as_ref().map(|sc| sc.install());
-                    body(RankCtx {
+                    let ctx = RankCtx {
                         rank,
                         nranks,
                         peers: senders_ref.to_vec(),
                         inbox,
                         stash: Vec::new(),
-                    })
+                        next_seq: 0,
+                        seen: HashSet::new(),
+                        ack_attempts: HashMap::new(),
+                        pending: Vec::new(),
+                        delayed: Vec::new(),
+                        injector: plan.map(|p| p.injector(rank)),
+                        retry: plan.map(|p| p.retry).unwrap_or_default(),
+                        dead: false,
+                    };
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(ctx)))
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
+            let mut oks = Vec::with_capacity(nranks);
+            let mut failures = Vec::new();
+            for (rank, h) in handles.into_iter().enumerate() {
+                // catch_unwind inside the thread means join itself only
+                // fails on non-unwinding aborts; fold both into the report.
+                let outcome = match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => Err(payload),
+                };
+                match outcome {
+                    Ok(v) => oks.push(v),
+                    Err(payload) => failures.push(RankFailure {
+                        rank,
+                        // `.as_ref()`, not `&payload`: a `&Box<dyn Any>`
+                        // would unsize to the *box* as `dyn Any` and every
+                        // downcast would miss.
+                        message: panic_message(payload.as_ref()),
+                    }),
+                }
+            }
+            if failures.is_empty() {
+                Ok(oks)
+            } else {
+                Err(WorldFailure { nranks, failures })
+            }
         })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -314,6 +825,7 @@ pub fn exchange_array(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
     use gmg_brick::{BrickLayout, BrickOrdering};
     use std::sync::Arc;
 
@@ -523,5 +1035,216 @@ mod tests {
                 assert_eq!(a[p], idx_fn(p.rem_euclid(dom)) + 1.0);
             });
         });
+    }
+
+    // ---------------------------------------------------------------
+    // Resilience
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn try_run_collects_every_failed_rank() {
+        let err = RankWorld::try_run(4, |ctx| {
+            if ctx.rank() % 2 == 1 {
+                panic!("rank {} exploded", ctx.rank());
+            }
+            ctx.rank()
+        })
+        .unwrap_err();
+        assert_eq!(err.nranks, 4);
+        assert_eq!(err.ranks(), vec![1, 3]);
+        assert!(err.failures[0].message.contains("rank 1 exploded"));
+        assert!(err.failures[1].message.contains("rank 3 exploded"));
+    }
+
+    #[test]
+    fn run_panics_with_structured_report() {
+        let caught = std::panic::catch_unwind(|| {
+            RankWorld::run(3, |ctx| {
+                if ctx.rank() == 2 {
+                    panic!("boom");
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("1 of 3 ranks failed"), "{msg}");
+        assert!(msg.contains("rank 2: boom"), "{msg}");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_cleanly_and_never_loses_messages() {
+        RankWorld::run(2, |mut ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![5.0]);
+                ctx.barrier();
+            } else {
+                // Tag 9 never arrives; tag 5 arrives meanwhile and must be
+                // stashed by the failed wait, not lost.
+                let err = ctx
+                    .recv_timeout(0, 9, Duration::from_millis(50))
+                    .unwrap_err();
+                assert!(matches!(
+                    err,
+                    CommError::Timeout {
+                        from: 0,
+                        tag: 9,
+                        ..
+                    }
+                ));
+                ctx.barrier();
+                assert_eq!(ctx.recv(0, 5), vec![5.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        RankWorld::run(2, |mut ctx| {
+            if ctx.rank() == 0 {
+                ctx.barrier();
+                ctx.send(1, 3, vec![3.0]);
+            } else {
+                assert_eq!(ctx.try_recv(0, 3).unwrap(), None);
+                ctx.barrier();
+                // Poll until the in-flight send lands.
+                loop {
+                    if let Some(p) = ctx.try_recv(0, 3).unwrap() {
+                        assert_eq!(p, vec![3.0]);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+
+    /// Exchanges and collectives running over a transport that drops,
+    /// reorders, duplicates, and corrupts — the ARQ layer must make the
+    /// result identical to the fault-free run.
+    #[test]
+    fn exchange_survives_lossy_transport() {
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(2));
+        let n = decomp.num_ranks();
+        let d = &decomp;
+        for seed in [1u64, 2, 3] {
+            let plan = FaultPlan::new(FaultConfig::lossy(0.05), seed);
+            let sums = RankWorld::run_with_faults(n, &plan, move |mut ctx| {
+                let sub = d.subdomain(ctx.rank());
+                let mut a =
+                    Array3::from_fn(
+                        sub,
+                        1,
+                        |p| {
+                            if sub.contains(p) {
+                                idx_fn(p)
+                            } else {
+                                f64::NAN
+                            }
+                        },
+                    );
+                exchange_array(&mut ctx, d, &mut a, 1, 2);
+                let dom = d.domain().extent();
+                let mut sum = 0.0;
+                sub.grow(1).for_each(|p| {
+                    assert_eq!(a[p], idx_fn(p.rem_euclid(dom)), "seed {seed}");
+                    sum += a[p];
+                });
+                ctx.allreduce_sum(sum)
+            })
+            .unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+            assert!(sums.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn lossy_transport_actually_injected_faults() {
+        // Guard against the ARQ test passing vacuously: the fault track
+        // must show injections and recoveries.
+        let plan = FaultPlan::new(FaultConfig::lossy(0.2), 7);
+        let (_, trace) = gmg_trace::capture(|| {
+            RankWorld::run_with_faults(2, &plan, |mut ctx| {
+                for round in 0..50u64 {
+                    let peer = 1 - ctx.rank();
+                    ctx.send(peer, round, vec![round as f64]);
+                    assert_eq!(ctx.recv(peer, round), vec![round as f64]);
+                }
+            })
+            .unwrap();
+        });
+        let faults: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.track == Track::Fault)
+            .map(|e| e.op.name())
+            .collect();
+        assert!(!faults.is_empty());
+        assert!(faults.contains(&"fault:drop"));
+        assert!(faults.contains(&"fault:retransmit"));
+        assert!(
+            faults.contains(&"fault:reject"),
+            "corruption was never detected: {faults:?}"
+        );
+    }
+
+    #[test]
+    fn killed_rank_is_reported_not_hung() {
+        let cfg = FaultConfig::kill_rank(1, 3);
+        let mut plan = FaultPlan::new(cfg, 0);
+        // Keep peers from blocking forever on the dead rank.
+        plan.retry.op_timeout = Duration::from_millis(200);
+        plan.retry.max_attempts = 4;
+        let err = RankWorld::run_with_faults(4, &plan, |mut ctx| {
+            // Ring exchange: everyone depends on everyone transitively.
+            for round in 0..10u64 {
+                let next = (ctx.rank() + 1) % ctx.nranks();
+                let prev = (ctx.rank() + ctx.nranks() - 1) % ctx.nranks();
+                ctx.send(next, round, vec![ctx.rank() as f64]);
+                let got = ctx.recv(prev, round);
+                assert_eq!(got, vec![prev as f64]);
+            }
+        })
+        .unwrap_err();
+        // The killed rank reports Killed; at least one peer reports the
+        // timeout it caused. No hang, no unstructured panic.
+        assert!(err.ranks().contains(&1), "{err}");
+        let killed = err.failures.iter().find(|f| f.rank == 1).unwrap();
+        assert!(killed.message.contains("fault injection"), "{err}");
+        assert!(
+            err.failures
+                .iter()
+                .any(|f| f.rank != 1 && f.message.contains("timed out")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stalled_rank_delays_but_completes() {
+        let cfg = FaultConfig {
+            stall: Some((
+                crate::fault::ControlSpec { rank: 0, at_op: 2 },
+                Duration::from_millis(30),
+            )),
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(cfg, 0);
+        let out = RankWorld::run_with_faults(2, &plan, |mut ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, 1, vec![ctx.rank() as f64]);
+            let got = ctx.recv(peer, 1)[0];
+            ctx.allreduce_sum(got)
+        })
+        .unwrap();
+        assert_eq!(out, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn fault_free_plan_changes_nothing() {
+        // run_with_faults with an inactive config must agree with run.
+        let plan = FaultPlan::new(FaultConfig::default(), 0);
+        let a =
+            RankWorld::run_with_faults(3, &plan, |mut ctx| ctx.allreduce_sum(ctx.rank() as f64))
+                .unwrap();
+        let b = RankWorld::run(3, |mut ctx| ctx.allreduce_sum(ctx.rank() as f64));
+        assert_eq!(a, b);
     }
 }

@@ -1,6 +1,8 @@
 //! Solver diagnostics: norms beyond the max-norm, convergence-history
-//! analysis, and work-unit accounting (the "how many fine-grid sweeps did
-//! this cost" bookkeeping multigrid papers report).
+//! analysis, solver health classification (divergence and non-finite
+//! detection plus the recovery policy vocabulary), and work-unit
+//! accounting (the "how many fine-grid sweeps did this cost" bookkeeping
+//! multigrid papers report).
 
 use crate::level::Level;
 use crate::solver::{SolveStats, SolverConfig};
@@ -22,6 +24,13 @@ pub struct LocalNorms {
 }
 
 impl LocalNorms {
+    /// True when every accumulated moment is finite. The summing moments
+    /// (`sum_sq`, `sum`) propagate NaN, so this catches non-finite cells
+    /// that a `max`-reduction silently drops (`f64::max(NaN, x) = x`).
+    pub fn is_finite(&self) -> bool {
+        self.sum_sq.is_finite() && self.max_abs.is_finite() && self.sum.is_finite()
+    }
+
     /// Norms of the residual field at `level`.
     pub fn of_residual(level: &Level) -> Self {
         let (sum_sq, max_abs, sum) = level.r.par_reduce(
@@ -73,6 +82,124 @@ pub struct GlobalNorms {
     pub mean: f64,
 }
 
+impl GlobalNorms {
+    /// True when every norm is finite (see [`LocalNorms::is_finite`]).
+    pub fn is_finite(&self) -> bool {
+        self.l2.is_finite() && self.max.is_finite() && self.mean.is_finite()
+    }
+}
+
+/// Health classification of an iterate or a residual history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveHealth {
+    /// Residuals finite, no divergence detected.
+    Healthy,
+    /// The residual grew past the divergence threshold.
+    Diverged,
+    /// A non-finite (NaN/∞) residual or field appeared.
+    NonFinite,
+}
+
+impl SolveHealth {
+    /// True for any unhealthy verdict — a NaN residual *is* divergence as
+    /// far as the caller is concerned.
+    pub fn is_diverged(self) -> bool {
+        !matches!(self, SolveHealth::Healthy)
+    }
+
+    /// Classify a whole residual history after the fact: non-finite
+    /// entries dominate, then growth past the default divergence factor
+    /// relative to the best residual seen up to that point.
+    pub fn classify(history: &[f64]) -> Self {
+        if history.iter().any(|r| !r.is_finite()) {
+            return SolveHealth::NonFinite;
+        }
+        let mut best = f64::INFINITY;
+        for &r in history {
+            if r > best * HealthMonitor::DEFAULT_DIVERGENCE_FACTOR {
+                return SolveHealth::Diverged;
+            }
+            best = best.min(r);
+        }
+        SolveHealth::Healthy
+    }
+}
+
+/// What the solver does when its health guards trip mid-solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Stop immediately; the returned [`SolveStats`] carry the verdict and
+    /// the offending residual history as diagnostics. The iterate is left
+    /// as found (possibly poisoned).
+    Abort,
+    /// Roll back to the last periodic in-memory checkpoint, strengthen the
+    /// smoother, and retry — up to `max_recoveries` times, after which the
+    /// solve degrades to [`RecoveryPolicy::BestIterate`] behavior.
+    Rollback,
+    /// Restore the best checkpointed iterate and return it gracefully
+    /// (converged = false, health = the verdict).
+    BestIterate,
+}
+
+/// Streaming residual watchdog for the solve loop: feed each global
+/// residual in as it is measured; reports the first unhealthy verdict.
+/// All inputs must already be globally reduced so that every rank sees the
+/// identical sequence and reaches the identical verdict.
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    best: f64,
+    growth_streak: usize,
+    divergence_factor: f64,
+    patience: usize,
+}
+
+impl HealthMonitor {
+    /// Residual growth beyond this factor × best-so-far is a blow-up.
+    pub const DEFAULT_DIVERGENCE_FACTOR: f64 = 1e4;
+    /// Consecutive growing cycles tolerated before declaring divergence.
+    pub const DEFAULT_PATIENCE: usize = 3;
+
+    /// Watchdog primed with the initial residual.
+    pub fn new(r0: f64) -> Self {
+        Self::with_thresholds(r0, Self::DEFAULT_DIVERGENCE_FACTOR, Self::DEFAULT_PATIENCE)
+    }
+
+    /// Watchdog with explicit thresholds (for tests and tuning).
+    pub fn with_thresholds(r0: f64, divergence_factor: f64, patience: usize) -> Self {
+        Self {
+            best: if r0.is_finite() { r0 } else { f64::INFINITY },
+            growth_streak: 0,
+            divergence_factor,
+            patience,
+        }
+    }
+
+    /// Best (smallest) residual observed so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Feed one globally-reduced residual; returns the verdict.
+    pub fn observe(&mut self, r: f64) -> SolveHealth {
+        if !r.is_finite() {
+            return SolveHealth::NonFinite;
+        }
+        if r > self.best * self.divergence_factor {
+            return SolveHealth::Diverged;
+        }
+        if r > self.best {
+            self.growth_streak += 1;
+            if self.growth_streak > self.patience {
+                return SolveHealth::Diverged;
+            }
+        } else {
+            self.best = r;
+            self.growth_streak = 0;
+        }
+        SolveHealth::Healthy
+    }
+}
+
 /// Analysis of a residual history.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ConvergenceReport {
@@ -85,6 +212,9 @@ pub struct ConvergenceReport {
     pub asymptotic_factor: f64,
     /// Estimated cycles to gain one decimal digit asymptotically.
     pub cycles_per_digit: f64,
+    /// Health classification of the history (NaN residuals report as
+    /// diverged rather than silently skewing the factor statistics).
+    pub health: SolveHealth,
 }
 
 impl ConvergenceReport {
@@ -98,7 +228,9 @@ impl ConvergenceReport {
             .collect();
         // Geometric mean via Σ ln: the direct product underflows to zero
         // for long histories (e.g. 400 factors of 0.1 is 1e-400 < f64 min).
-        let mean_factor = if factors.iter().any(|f| *f <= 0.0) {
+        // The `!(f > 0)` form also routes NaN factors (from a non-finite
+        // residual) here instead of poisoning the ln-sum.
+        let mean_factor = if factors.iter().any(|f| !(*f > 0.0)) {
             0.0
         } else {
             let ln_sum: f64 = factors.iter().map(|f| f.ln()).sum();
@@ -115,6 +247,7 @@ impl ConvergenceReport {
             mean_factor,
             asymptotic_factor,
             cycles_per_digit,
+            health: SolveHealth::classify(history),
         }
     }
 
@@ -165,6 +298,65 @@ mod tests {
     }
 
     #[test]
+    fn nan_residual_reports_as_diverged() {
+        // A NaN in the history must classify as unhealthy and keep the
+        // factor statistics finite instead of poisoning them.
+        let r = ConvergenceReport::from_history(&[1.0, 0.1, f64::NAN]);
+        assert_eq!(r.health, SolveHealth::NonFinite);
+        assert!(r.health.is_diverged());
+        assert_eq!(r.mean_factor, 0.0);
+        // A finite blow-up classifies as Diverged.
+        let r = ConvergenceReport::from_history(&[1.0, 0.1, 1e7]);
+        assert_eq!(r.health, SolveHealth::Diverged);
+        // A well-behaved history stays healthy.
+        let r = ConvergenceReport::from_history(&[1.0, 0.1, 0.01]);
+        assert_eq!(r.health, SolveHealth::Healthy);
+        assert!(!r.health.is_diverged());
+    }
+
+    #[test]
+    fn norm_finiteness_guards() {
+        let mut n = LocalNorms {
+            sum_sq: 1.0,
+            max_abs: 1.0,
+            sum: 0.0,
+            cells: 8,
+        };
+        assert!(n.is_finite());
+        n.sum_sq = f64::NAN;
+        assert!(!n.is_finite());
+        let g = GlobalNorms {
+            l2: f64::INFINITY,
+            max: 1.0,
+            mean: 0.0,
+        };
+        assert!(!g.is_finite());
+    }
+
+    #[test]
+    fn health_monitor_verdicts() {
+        let mut m = HealthMonitor::new(1.0);
+        assert_eq!(m.observe(0.5), SolveHealth::Healthy);
+        assert_eq!(m.best(), 0.5);
+        // A few growing cycles are tolerated (patience 3)…
+        assert_eq!(m.observe(0.6), SolveHealth::Healthy);
+        assert_eq!(m.observe(0.7), SolveHealth::Healthy);
+        assert_eq!(m.observe(0.65), SolveHealth::Healthy);
+        // …but the fourth consecutive growth is divergence.
+        assert_eq!(m.observe(0.66), SolveHealth::Diverged);
+        // An improvement resets the streak.
+        let mut m = HealthMonitor::new(1.0);
+        assert_eq!(m.observe(2.0), SolveHealth::Healthy);
+        assert_eq!(m.observe(0.5), SolveHealth::Healthy);
+        assert_eq!(m.observe(0.6), SolveHealth::Healthy);
+        // Blow-up past the divergence factor trips immediately.
+        assert_eq!(m.observe(0.5 * 1e5), SolveHealth::Diverged);
+        // NaN trips regardless of history.
+        let mut m = HealthMonitor::new(1.0);
+        assert_eq!(m.observe(f64::NAN), SolveHealth::NonFinite);
+    }
+
+    #[test]
     fn stalled_history_reports_infinite_digits() {
         let r = ConvergenceReport::from_history(&[1.0, 1.0]);
         assert!(r.cycles_per_digit.is_infinite());
@@ -172,10 +364,12 @@ mod tests {
 
     #[test]
     fn long_history_geometric_mean_does_not_underflow() {
-        // 500 cycles at a factor of 0.1: the naive product is 1e-500,
-        // which underflows f64 to zero. The ln-sum formulation must still
-        // report the true mean factor.
-        let history: Vec<f64> = (0..=500).map(|i| 10f64.powi(-i)).collect();
+        // 308 cycles at a factor of 0.1 drive the naive factor product to
+        // the f64 subnormal boundary (1e-308); the ln-sum formulation must
+        // still report the true mean factor. (Residuals can't go further:
+        // 10^-309 itself rounds to zero, so a longer history would contain
+        // artificial zeros and correctly classify as exact convergence.)
+        let history: Vec<f64> = (0..=308).map(|i| 10f64.powi(-i)).collect();
         let r = ConvergenceReport::from_history(&history);
         assert!(
             (r.mean_factor - 0.1).abs() < 1e-12,

@@ -8,6 +8,7 @@
 //! initial guess, running a small fixed number of V-cycles per level. One
 //! FMG pass reaches discretization-level accuracy in O(N) work.
 
+use crate::diagnostics::SolveHealth;
 use crate::level::{interpolation_increment, restriction};
 use crate::ops::{exchange_b, max_norm_residual};
 use crate::solver::{GmgSolver, SolveStats};
@@ -78,10 +79,12 @@ impl GmgSolver {
             converged = r < self.config.tolerance;
         }
         SolveStats {
+            health: SolveHealth::classify(&history),
             vcycles,
             residual_history: history,
             converged,
             total_seconds: t_start.elapsed().as_secs_f64(),
+            recoveries: 0,
         }
     }
 }

@@ -32,8 +32,10 @@ pub mod solver;
 pub mod timers;
 pub mod trace;
 
-pub use diagnostics::{ConvergenceReport, GlobalNorms};
-pub use level::Level;
+pub use diagnostics::{
+    ConvergenceReport, GlobalNorms, HealthMonitor, LocalNorms, RecoveryPolicy, SolveHealth,
+};
+pub use level::{Checkpoint, Level};
 pub use problem::PoissonProblem;
 pub use schedule::{ScheduleConfig, SimLevelBreakdown, SimResult};
 pub use smoother::Smoother;

@@ -1,7 +1,8 @@
 //! The geometric multigrid solver: Algorithm 1 (solve loop) and
 //! Algorithm 2 (V-cycle) from the paper, distributed over the rank runtime.
 
-use crate::level::{interpolation_increment, restriction, Level};
+use crate::diagnostics::{HealthMonitor, LocalNorms, RecoveryPolicy, SolveHealth};
+use crate::level::{interpolation_increment, restriction, Checkpoint, Level};
 use crate::ops::{exchange_b, exchange_x, max_norm_residual};
 use crate::problem::PoissonProblem;
 use crate::smoother::Smoother;
@@ -38,6 +39,16 @@ pub struct SolverConfig {
     pub smoother: Smoother,
     /// Cycle index γ: 1 = V-cycle (the paper), 2 = W-cycle.
     pub cycle_gamma: usize,
+    /// What to do when the health guards detect divergence or a
+    /// non-finite residual mid-solve.
+    pub recovery: RecoveryPolicy,
+    /// Cycles between in-memory checkpoints of the finest-level iterate
+    /// (only taken when `recovery` can use them; a checkpoint is only
+    /// replaced by a strictly better one).
+    pub checkpoint_interval: usize,
+    /// Rollback budget before [`RecoveryPolicy::Rollback`] degrades to
+    /// returning the best iterate.
+    pub max_recoveries: usize,
 }
 
 impl Default for SolverConfig {
@@ -61,6 +72,9 @@ impl SolverConfig {
             ordering: BrickOrdering::SurfaceMajor,
             smoother: Smoother::Jacobi,
             cycle_gamma: 1,
+            recovery: RecoveryPolicy::Abort,
+            checkpoint_interval: 4,
+            max_recoveries: 2,
         }
     }
 
@@ -78,6 +92,9 @@ impl SolverConfig {
             ordering: BrickOrdering::SurfaceMajor,
             smoother: Smoother::Jacobi,
             cycle_gamma: 1,
+            recovery: RecoveryPolicy::Abort,
+            checkpoint_interval: 1,
+            max_recoveries: 2,
         }
     }
 }
@@ -93,6 +110,11 @@ pub struct SolveStats {
     pub converged: bool,
     /// Wall-clock seconds of the solve loop on this rank.
     pub total_seconds: f64,
+    /// Health verdict the solve ended with ([`SolveHealth::Healthy`] even
+    /// after successful rollbacks — `recoveries` records those).
+    pub health: SolveHealth,
+    /// Rollback recoveries performed during the solve.
+    pub recoveries: usize,
 }
 
 impl SolveStats {
@@ -117,6 +139,10 @@ pub struct GmgSolver {
     pub config: SolverConfig,
     pub levels: Vec<Level>,
     pub timers: OpTimer,
+    /// Deterministic fault hook for tests and chaos campaigns: called
+    /// after each V-cycle with `(cycle_index, finest_level)` so the
+    /// iterate can be corrupted without a comm layer in the loop.
+    pub fault_hook: Option<Box<dyn FnMut(usize, &mut Level) + Send>>,
     rank: usize,
     tag_counter: u64,
 }
@@ -168,6 +194,7 @@ impl GmgSolver {
             config,
             levels,
             timers: OpTimer::new(),
+            fault_hook: None,
             rank,
             tag_counter: 0,
         }
@@ -332,28 +359,139 @@ impl GmgSolver {
         self.smooth_pass(ctx, l, smooths, true);
     }
 
+    /// Emit a health/recovery instant event onto the trace's fault track.
+    fn health_event(&self, op: &'static str) {
+        if gmg_trace::enabled() {
+            gmg_trace::record_instant(self.rank, 0, op, gmg_trace::Track::Fault, None, None);
+        }
+    }
+
+    /// React to an unhealthy verdict per the configured [`RecoveryPolicy`].
+    /// Returns the health to carry forward: `Healthy` when the solve
+    /// should continue from a restored checkpoint, the verdict itself when
+    /// it should stop. Every branch is driven purely by globally-reduced
+    /// quantities, so all ranks take it in lockstep.
+    fn attempt_recovery(
+        &mut self,
+        verdict: SolveHealth,
+        checkpoint: &mut Option<(f64, Checkpoint)>,
+        monitor: &mut HealthMonitor,
+        recoveries: &mut usize,
+    ) -> SolveHealth {
+        self.health_event(match verdict {
+            SolveHealth::NonFinite => "health:non-finite",
+            _ => "health:diverged",
+        });
+        let restore_best = |s: &mut Self, cp: &Option<(f64, Checkpoint)>| {
+            if let Some((_, cp)) = cp.as_ref() {
+                s.levels[0].restore(cp);
+            }
+        };
+        match self.config.recovery {
+            RecoveryPolicy::Abort => {
+                self.health_event("recover:abort");
+                verdict
+            }
+            RecoveryPolicy::BestIterate => {
+                restore_best(self, checkpoint);
+                self.health_event("recover:best-iterate");
+                verdict
+            }
+            RecoveryPolicy::Rollback => {
+                if *recoveries >= self.config.max_recoveries {
+                    // Budget exhausted: degrade to the best iterate.
+                    restore_best(self, checkpoint);
+                    self.health_event("recover:best-iterate");
+                    return verdict;
+                }
+                *recoveries += 1;
+                let r_cp = match checkpoint.as_ref() {
+                    Some((r, cp)) => {
+                        self.levels[0].restore(cp);
+                        *r
+                    }
+                    None => {
+                        self.levels[0].init_zero();
+                        f64::INFINITY
+                    }
+                };
+                // Retry with a stronger smoother: double the per-level
+                // sweeps (more damping per cycle, same schedule on every
+                // rank).
+                self.config.max_smooths *= 2;
+                *monitor = HealthMonitor::new(r_cp);
+                self.health_event("recover:rollback");
+                SolveHealth::Healthy
+            }
+        }
+    }
+
     /// Algorithm 1: V-cycle until the global max-norm residual drops below
-    /// the tolerance (or `max_vcycles` is hit).
+    /// the tolerance (or `max_vcycles` is hit), guarded by the health
+    /// watchdog and the configured [`RecoveryPolicy`].
     pub fn solve(&mut self, ctx: &mut RankCtx) -> SolveStats {
         let t_start = Instant::now();
         let tag = self.next_tag();
         let r0 = max_norm_residual(ctx, &mut self.levels[0], tag);
         let mut history = vec![r0];
         let mut converged = r0 < self.config.tolerance;
+        let mut health = if r0.is_finite() {
+            SolveHealth::Healthy
+        } else {
+            SolveHealth::NonFinite
+        };
+        let mut monitor = HealthMonitor::new(r0);
+        // Seed the checkpoint with the zero guess so a first-cycle fault
+        // still has somewhere to roll back to.
+        let mut checkpoint = (self.config.recovery != RecoveryPolicy::Abort)
+            .then(|| (r0, self.levels[0].checkpoint()));
+        let mut recoveries = 0;
         let mut vcycles = 0;
-        while !converged && vcycles < self.config.max_vcycles {
+        while health == SolveHealth::Healthy && !converged && vcycles < self.config.max_vcycles {
             self.vcycle(ctx);
             vcycles += 1;
+            if let Some(hook) = self.fault_hook.as_mut() {
+                hook(vcycles, &mut self.levels[0]);
+            }
             let tag = self.next_tag();
             let r = max_norm_residual(ctx, &mut self.levels[0], tag);
             history.push(r);
-            converged = r < self.config.tolerance;
+            // `max`-reductions silently drop NaN (`f64::max(NaN, x) = x`),
+            // so non-finite state is detected through the summing residual
+            // norms, which propagate it — and globally, so every rank
+            // reaches the same verdict.
+            let finite = r.is_finite()
+                && LocalNorms::of_residual(&self.levels[0])
+                    .global(ctx)
+                    .is_finite();
+            let verdict = if finite {
+                monitor.observe(r)
+            } else {
+                SolveHealth::NonFinite
+            };
+            match verdict {
+                SolveHealth::Healthy => {
+                    converged = r < self.config.tolerance;
+                    if let Some(cp) = checkpoint.as_mut() {
+                        if r < cp.0 && vcycles % self.config.checkpoint_interval.max(1) == 0 {
+                            *cp = (r, self.levels[0].checkpoint());
+                            self.health_event("health:checkpoint");
+                        }
+                    }
+                }
+                bad => {
+                    health =
+                        self.attempt_recovery(bad, &mut checkpoint, &mut monitor, &mut recoveries);
+                }
+            }
         }
         SolveStats {
             vcycles,
             residual_history: history,
             converged,
             total_seconds: t_start.elapsed().as_secs_f64(),
+            health,
+            recoveries,
         }
     }
 
@@ -660,6 +798,145 @@ mod tests {
         }
         // Comm spans from the exchange runtime rode along in the capture.
         assert!(summary.comm.messages > 0);
+    }
+
+    /// Rebuild the finest-level iterate through `f(old_value, point)` —
+    /// the corruption primitive the fault-hook tests share.
+    fn corrupt_x(level: &mut Level, f: impl Fn(f64, Point3) -> f64 + Send + Sync + 'static) {
+        let old = level.x.clone();
+        level.x = BrickedField::from_fn(level.layout.clone(), move |p| f(old.get(p), p));
+    }
+
+    #[test]
+    fn nan_injection_is_detected_despite_max_reduction() {
+        // Poison a single cell with NaN after cycle 2. The max-norm
+        // reduction silently drops NaN, so this exercises the summing
+        //-norms detection path; Abort must stop the solve right there
+        // with structured diagnostics instead of iterating on garbage.
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(1));
+        let d = &decomp;
+        let out = RankWorld::run(1, move |mut ctx| {
+            let mut cfg = SolverConfig::test_default();
+            cfg.num_levels = 2;
+            cfg.max_vcycles = 10;
+            cfg.tolerance = 1e-12;
+            let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+            s.fault_hook = Some(Box::new(|cycle, level: &mut Level| {
+                if cycle == 2 {
+                    let target = level.owned.lo;
+                    corrupt_x(level, move |v, p| if p == target { f64::NAN } else { v });
+                }
+            }));
+            s.solve(&mut ctx)
+        });
+        let stats = &out[0];
+        assert_eq!(stats.health, SolveHealth::NonFinite);
+        assert!(stats.health.is_diverged());
+        assert!(!stats.converged);
+        assert_eq!(stats.vcycles, 2, "must stop at the detection cycle");
+    }
+
+    #[test]
+    fn rollback_recovers_from_transient_corruption() {
+        // Rank 0's iterate is scaled by 1e9 after cycle 3 (a one-shot
+        // upset). The divergence shows up in the *global* residual, so
+        // both ranks must roll back in lockstep, retry with a stronger
+        // smoother, and still converge to the discrete solution — with
+        // the recovery visible on the trace's fault track.
+        let decomp = Decomposition::new(Box3::cube(16), Point3::new(2, 1, 1));
+        let d = &decomp;
+        let (out, trace) = gmg_trace::capture(|| {
+            RankWorld::run(2, move |mut ctx| {
+                let mut cfg = SolverConfig::test_default();
+                cfg.num_levels = 2;
+                cfg.recovery = RecoveryPolicy::Rollback;
+                cfg.checkpoint_interval = 1;
+                cfg.max_vcycles = 30;
+                let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+                let rank = ctx.rank();
+                s.fault_hook = Some(Box::new(move |cycle, level: &mut Level| {
+                    if cycle == 3 && rank == 0 {
+                        corrupt_x(level, |v, _| v * 1e9);
+                    }
+                }));
+                let stats = s.solve(&mut ctx);
+                (stats, s.max_error_vs_discrete())
+            })
+        });
+        for (stats, err) in &out {
+            assert!(stats.converged, "history {:?}", stats.residual_history);
+            assert_eq!(stats.recoveries, 1);
+            assert_eq!(stats.health, SolveHealth::Healthy);
+            assert!(*err < 1e-7, "discrete error {err}");
+            // The spike is recorded in the history (diagnostics), even
+            // though the solve recovered.
+            assert!(stats.residual_history.iter().any(|r| *r > 1.0));
+        }
+        // Both ranks agree on the entire history including the recovery.
+        assert_eq!(out[0].0.residual_history, out[1].0.residual_history);
+        let summary = gmg_trace::TraceSummary::from_trace(&trace);
+        for kind in ["health:diverged", "recover:rollback", "health:checkpoint"] {
+            assert!(
+                summary.faults.iter().any(|(k, _)| k == kind),
+                "missing {kind} in {:?}",
+                summary.faults
+            );
+        }
+    }
+
+    #[test]
+    fn best_iterate_policy_returns_a_usable_iterate() {
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(1));
+        let d = &decomp;
+        let out = RankWorld::run(1, move |mut ctx| {
+            let mut cfg = SolverConfig::test_default();
+            cfg.num_levels = 2;
+            cfg.recovery = RecoveryPolicy::BestIterate;
+            cfg.checkpoint_interval = 1;
+            let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+            let e0 = s.max_error_vs_discrete();
+            s.fault_hook = Some(Box::new(|cycle, level: &mut Level| {
+                if cycle >= 4 {
+                    corrupt_x(level, |v, _| v * -1e9);
+                }
+            }));
+            let stats = s.solve(&mut ctx);
+            (stats, e0, s.max_error_vs_discrete())
+        });
+        let (stats, e0, e1) = &out[0];
+        assert!(!stats.converged);
+        assert!(stats.health.is_diverged());
+        assert_eq!(stats.recoveries, 0);
+        // The returned iterate is the checkpointed best, not the poisoned
+        // one: finite and clearly better than the zero guess.
+        assert!(e1.is_finite());
+        assert!(*e1 < e0 * 0.5, "best iterate error {e1} vs zero-guess {e0}");
+    }
+
+    #[test]
+    fn health_guards_do_not_perturb_fault_free_numerics() {
+        // Checkpointing and monitoring must be pure observers: identical
+        // residual histories under every policy, and no recovery events.
+        let histories: Vec<Vec<f64>> = [
+            RecoveryPolicy::Abort,
+            RecoveryPolicy::Rollback,
+            RecoveryPolicy::BestIterate,
+        ]
+        .into_iter()
+        .map(|policy| {
+            let mut cfg = SolverConfig::test_default();
+            cfg.num_levels = 2;
+            cfg.max_vcycles = 5;
+            cfg.tolerance = 0.0;
+            cfg.recovery = policy;
+            let out = solve_with(16, Point3::splat(1), cfg);
+            assert_eq!(out[0].0.health, SolveHealth::Healthy);
+            assert_eq!(out[0].0.recoveries, 0);
+            out[0].0.residual_history.clone()
+        })
+        .collect();
+        assert_eq!(histories[0], histories[1]);
+        assert_eq!(histories[0], histories[2]);
     }
 
     #[test]

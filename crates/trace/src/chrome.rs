@@ -110,6 +110,20 @@ impl Trace {
                     track.name().to_string(),
                 ));
             }
+            // The fault track only exists for ranks that actually saw
+            // injections — fault-free exports stay byte-identical.
+            if self
+                .events
+                .iter()
+                .any(|e| e.rank == rank && e.track == Track::Fault)
+            {
+                events.push(metadata_event(
+                    rank,
+                    Track::Fault.tid(),
+                    "thread_name",
+                    Track::Fault.name().to_string(),
+                ));
+            }
         }
         events.extend(self.events.iter().map(span_event));
         Json::Obj(vec![
@@ -322,6 +336,40 @@ mod tests {
             // Zero counters are omitted to keep files small.
             assert!(args.get("flops").is_none());
         }
+    }
+
+    #[test]
+    fn fault_track_exports_and_roundtrips() {
+        let (_, trace) = capture(|| {
+            record(TraceEvent {
+                rank: 1,
+                level: LEVEL_NONE,
+                op: intern("fault:drop"),
+                track: Track::Fault,
+                ts_ns: 5_000,
+                dur_ns: 0,
+                counters: Counters::default(),
+                peer: Some(0),
+                tag: Some(33),
+            });
+        });
+        let text = trace.to_chrome_string();
+        let back = Trace::from_chrome_str(&text).expect("parse back");
+        assert_eq!(back.events, trace.events);
+        // The fault thread metadata appears only for the rank with fault
+        // events, and a fault-free trace never emits it.
+        let doc = trace.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let fault_threads: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("M")
+                    && e.get("tid").and_then(Json::as_u64) == Some(2)
+            })
+            .collect();
+        assert_eq!(fault_threads.len(), 1);
+        assert_eq!(fault_threads[0].get("pid").and_then(Json::as_u64), Some(1));
+        assert!(!sample_trace().to_chrome_string().contains("\"fault\""));
     }
 
     #[test]

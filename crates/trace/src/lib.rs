@@ -52,7 +52,8 @@ pub mod summary;
 
 pub use json::Json;
 pub use sink::{
-    capture, current_scope, enabled, epoch, instant_ns, intern, now_ns, record, record_span_at,
-    span, Counters, OpId, ScopeGuard, Span, Trace, TraceEvent, TraceScope, Track, LEVEL_NONE,
+    capture, current_scope, enabled, epoch, instant_ns, intern, now_ns, record, record_instant,
+    record_span_at, span, Counters, OpId, ScopeGuard, Span, Trace, TraceEvent, TraceScope, Track,
+    LEVEL_NONE,
 };
 pub use summary::{OpRow, TraceSummary};

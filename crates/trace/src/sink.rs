@@ -96,6 +96,11 @@ pub enum Track {
     Compute,
     /// Exchange runtime work (send, recv, pack, unpack, allreduce).
     Comm,
+    /// Injected faults and recovery actions (drops, retransmissions,
+    /// checksum rejections, rollbacks). Instant events with `dur_ns == 0`;
+    /// only emitted by chaos runs, so fault-free traces have no such
+    /// track.
+    Fault,
 }
 
 impl Track {
@@ -104,6 +109,7 @@ impl Track {
         match self {
             Track::Compute => 0,
             Track::Comm => 1,
+            Track::Fault => 2,
         }
     }
 
@@ -111,6 +117,7 @@ impl Track {
         match tid {
             0 => Some(Track::Compute),
             1 => Some(Track::Comm),
+            2 => Some(Track::Fault),
             _ => None,
         }
     }
@@ -119,6 +126,7 @@ impl Track {
         match self {
             Track::Compute => "compute",
             Track::Comm => "comm",
+            Track::Fault => "fault",
         }
     }
 }
@@ -301,6 +309,34 @@ pub fn record_span_at(
         counters,
         peer: None,
         tag: None,
+    });
+}
+
+/// Record a zero-duration instant event at "now" — the shape fault
+/// injections and recovery actions use: a point on the timeline, not a
+/// span with extent.
+#[inline]
+pub fn record_instant(
+    rank: usize,
+    level: usize,
+    op: &str,
+    track: Track,
+    peer: Option<usize>,
+    tag: Option<u64>,
+) {
+    if !enabled() {
+        return;
+    }
+    record(TraceEvent {
+        rank,
+        level,
+        op: intern(op),
+        track,
+        ts_ns: instant_ns(Instant::now()),
+        dur_ns: 0,
+        counters: Counters::default(),
+        peer,
+        tag,
     });
 }
 

@@ -39,6 +39,10 @@ pub struct TraceSummary {
     pub comm: Counters,
     /// Comm-track seconds summed across all ranks.
     pub comm_seconds: f64,
+    /// Fault-track instant events: per-kind counts across all ranks,
+    /// ordered by kind (e.g. `("fault:drop", 3)`). Empty for fault-free
+    /// runs.
+    pub faults: Vec<(String, usize)>,
     /// Wall-clock extent of the whole trace.
     pub wall_seconds: f64,
 }
@@ -50,6 +54,7 @@ impl TraceSummary {
         let mut acc: BTreeMap<(usize, String), OpRow> = BTreeMap::new();
         let mut comm = Counters::default();
         let mut comm_seconds = 0.0;
+        let mut faults: BTreeMap<String, usize> = BTreeMap::new();
         for e in &trace.events {
             match e.track {
                 Track::Compute => {
@@ -69,6 +74,9 @@ impl TraceSummary {
                     comm.add(&e.counters);
                     comm_seconds += e.dur_ns as f64 / 1e9;
                 }
+                Track::Fault => {
+                    *faults.entry(e.op.name().to_string()).or_insert(0) += 1;
+                }
             }
         }
         TraceSummary {
@@ -76,8 +84,14 @@ impl TraceSummary {
             rows: acc.into_values().collect(),
             comm,
             comm_seconds,
+            faults: faults.into_iter().collect(),
             wall_seconds: trace.wall_seconds(),
         }
+    }
+
+    /// Total fault-track events across all kinds and ranks.
+    pub fn fault_events(&self) -> usize {
+        self.faults.iter().map(|(_, n)| n).sum()
     }
 
     /// Rows for one level, in op order.
@@ -196,6 +210,16 @@ impl TraceSummary {
                 out.push_str(&format!(", {b:.3} GB/s"));
             }
             out.push('\n');
+        }
+        if !self.faults.is_empty() {
+            out.push_str(&format!("faults: {} events (", self.fault_events()));
+            for (i, (kind, n)) in self.faults.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{kind} x{n}"));
+            }
+            out.push_str(")\n");
         }
         out
     }
@@ -335,6 +359,36 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn fault_track_rolls_up_per_kind() {
+        let (_, trace) = capture(|| {
+            for (op, n) in [("fault:drop", 3), ("fault:retransmit", 2)] {
+                for _ in 0..n {
+                    crate::sink::record_instant(1, LEVEL_NONE, op, Track::Fault, Some(0), Some(7));
+                }
+            }
+        });
+        let s = TraceSummary::from_trace(&trace);
+        assert_eq!(
+            s.faults,
+            vec![
+                ("fault:drop".to_string(), 3),
+                ("fault:retransmit".to_string(), 2)
+            ]
+        );
+        assert_eq!(s.fault_events(), 5);
+        // Fault instants are not compute rows and not comm traffic.
+        assert!(s.rows.is_empty());
+        assert_eq!(s.comm.messages, 0);
+        let text = s.render();
+        assert!(text.contains("faults: 5 events"), "{text}");
+        assert!(text.contains("fault:drop x3"), "{text}");
+        // Fault-free summaries don't mention faults at all.
+        assert!(!TraceSummary::from_trace(&sample())
+            .render()
+            .contains("fault"));
     }
 
     #[test]
