@@ -1,0 +1,35 @@
+//! Macro-benchmark + regression gate over the committed `bench/` trajectory.
+//!
+//! ```text
+//! cargo run --release -p gmg-bench --bin perfgate              # record: append BENCH_<n+1>.json
+//! cargo run --release -p gmg-bench --bin perfgate -- --check   # gate: exit 1 on regression
+//!   --grid <n>               fine-grid cube side (default 128)
+//!   --samples <k>            median-of-k samples per side (default 5)
+//!   --inject-slowdown <pct>  slow every candidate kernel artificially
+//!                            (proves the gate fails when perf regresses)
+//! ```
+
+use gmg_bench::gate::{run, GateOpts};
+
+fn main() {
+    let mut opts = GateOpts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> f64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+        };
+        match a.as_str() {
+            "--check" => opts.check_only = true,
+            "--grid" => opts.grid = num("--grid") as i64,
+            "--samples" => opts.samples = num("--samples") as usize,
+            "--inject-slowdown" => opts.inject_slowdown_pct = num("--inject-slowdown"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::process::exit(run(&opts));
+}

@@ -285,4 +285,49 @@ mod tests {
         assert_eq!(v["structured_failure"], true, "{v}");
         assert_eq!(v["killed_rank_reported"], true, "{v}");
     }
+
+    /// The fused multi-smooth executor must compose with checkpoint /
+    /// rollback recovery: under the same seeded silent corruption and
+    /// lossy transport, the fused and sweep-by-sweep schedules both trip
+    /// the health guards, both recover, and — because the fused path is
+    /// bit-identical — leave identical residual histories.
+    #[test]
+    fn fused_smoothing_composes_with_rollback_recovery() {
+        let run = |fused_smooths: usize| {
+            let mut cfg = chaos_solver_config();
+            cfg.recovery = RecoveryPolicy::Rollback;
+            cfg.checkpoint_interval = 1;
+            cfg.max_vcycles = 25;
+            cfg.fused_smooths = fused_smooths;
+            let plan = FaultPlan::new(FaultConfig::lossy(0.01), 7);
+            let decomp = chaos_decomp();
+            let d = &decomp;
+            RankWorld::run_with_faults(decomp.num_ranks(), &plan, move |mut ctx| {
+                let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+                let rank = ctx.rank();
+                s.fault_hook = Some(Box::new(move |cycle, level| {
+                    if cycle == 2 && rank == 3 {
+                        let old = level.x.clone();
+                        level.x =
+                            BrickedField::from_fn(level.layout.clone(), move |p| old.get(p) * 1e9);
+                    }
+                }));
+                s.solve(&mut ctx)
+            })
+            .expect("world survives the corruption")
+        };
+        let fused = run(chaos_solver_config().fused_smooths);
+        let sweep = run(1);
+        for (f, s) in fused.iter().zip(&sweep) {
+            assert!(f.converged && s.converged, "both schedules must converge");
+            assert!(
+                f.recoveries >= 1 && s.recoveries >= 1,
+                "both schedules must roll back at least once"
+            );
+            assert_eq!(
+                f.residual_history, s.residual_history,
+                "fused and sweep recovery histories must be bit-identical"
+            );
+        }
+    }
 }

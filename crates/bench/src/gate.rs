@@ -1,0 +1,757 @@
+//! perfgate — a deterministic macro-benchmark of the hot kernels plus a
+//! noise-robust regression gate over a committed benchmark trajectory.
+//!
+//! Run: `cargo run --release -p gmg-bench --bin perfgate` (record mode:
+//! appends `bench/BENCH_<n+1>.json`) or `-- --check` (gate mode: compare
+//! against the latest committed entry and exit nonzero on a regression or
+//! a hard-floor violation, without writing anything).
+//!
+//! The gate is machine-portable because it scores dimensionless *ratios*
+//! (optimized kernel vs its in-tree baseline), not absolute seconds:
+//!
+//! | id | candidate | baseline |
+//! |---|---|---|
+//! | `applyop_bricked_vs_array`   | bricked 7-point apply | conventional array apply |
+//! | `smooth_residual_fused_vs_split` | one-pass smooth+residual | smooth then residual |
+//! | `multismooth_fused_vs_sweep` | fused cache-tile multi-smooth | sweep-by-sweep CA |
+//! | `exchange_packfree_vs_packed` | surface-major gather | lexicographic gather |
+//! | `vcycle_fused_vs_sweep`      | V-cycles with fusion | V-cycles without |
+//!
+//! Each side is timed `samples` times; the score is the ratio of medians
+//! and the noise estimate is the relative MAD (median absolute deviation)
+//! of each sample set. A benchmark regresses when its ratio falls below
+//! the trajectory baseline by more than `max(10%, 3·max(mad_now,
+//! mad_then))` — so a noisy box widens its own tolerance instead of
+//! flapping the gate, without quiet components compounding into a
+//! tolerance that hides a real regression. `multismooth_fused_vs_sweep` additionally carries a hard floor
+//! (≥ 1.15×, the paper-motivated communication-avoiding payoff) and a
+//! deterministic traffic check (fused doubles/point must undercut the
+//! 7-doubles/point sweep model).
+//!
+//! Absolute medians are recorded in every entry purely as trajectory
+//! context; they are never gated on.
+
+use gmg_brick::{BrickLayout, BrickOrdering, BrickedField};
+use gmg_comm::runtime::RankWorld;
+use gmg_core::level::fused_tile_cells;
+use gmg_core::solver::{GmgSolver, SolverConfig};
+use gmg_mesh::ghost::DIRECTIONS_26;
+use gmg_mesh::{Array3, Box3, Decomposition, Point3};
+use gmg_stencil::exec_array::apply_star7_array;
+use gmg_stencil::exec_brick::{apply_star7_bricked, par_pointwise_mut1, par_pointwise_mut2};
+use gmg_stencil::exec_fused::fused_multismooth_bricked;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hard floor for the fused multi-smooth speedup (ISSUE acceptance bar).
+pub const MULTISMOOTH_FLOOR: f64 = 1.15;
+/// Minimum relative regression tolerated before the MAD widening kicks in.
+pub const BASE_TOLERANCE: f64 = 0.10;
+
+/// Gate options (the binary's command line).
+#[derive(Clone, Copy, Debug)]
+pub struct GateOpts {
+    /// Fine-grid cube side for the kernel benchmarks.
+    pub grid: i64,
+    /// Median-of-k sample count per timed side.
+    pub samples: usize,
+    /// Artificially slow every *candidate* kernel by this percentage —
+    /// used once to prove the gate actually fails (`--inject-slowdown`).
+    pub inject_slowdown_pct: f64,
+    /// Gate only: compare against the committed trajectory and exit
+    /// nonzero on violation without appending a new entry.
+    pub check_only: bool,
+}
+
+impl Default for GateOpts {
+    fn default() -> Self {
+        Self {
+            grid: 128,
+            samples: 5,
+            inject_slowdown_pct: 0.0,
+            check_only: false,
+        }
+    }
+}
+
+/// Robust summary of one timed side.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Median seconds across the samples.
+    pub median: f64,
+    /// Median absolute deviation relative to the median.
+    pub rel_mad: f64,
+}
+
+/// One benchmark's outcome.
+#[derive(Clone, Debug)]
+pub struct BenchOut {
+    pub id: &'static str,
+    pub baseline_label: &'static str,
+    pub candidate_label: &'static str,
+    pub baseline: Stats,
+    pub candidate: Stats,
+    /// Speedup of candidate over baseline (median/median, > 1 is faster).
+    pub ratio: f64,
+    /// Hard floor on `ratio`, if this benchmark carries one.
+    pub floor: Option<f64>,
+    /// Benchmark-specific context recorded into the trajectory entry.
+    pub extra: Value,
+}
+
+/// Median of a sample set (panics on empty input).
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample set");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    let m = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[m]
+    } else {
+        0.5 * (v[m - 1] + v[m])
+    }
+}
+
+/// Median absolute deviation around the median.
+pub fn mad(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&dev)
+}
+
+fn stats_of(samples: &[f64]) -> Stats {
+    let m = median(samples);
+    Stats {
+        median: m,
+        rel_mad: if m > 0.0 { mad(samples) / m } else { 0.0 },
+    }
+}
+
+/// Collect `k` samples from a self-timing closure (the closure does its
+/// own untimed prep, then returns the measured seconds — one closure, so
+/// prep and work can share mutable state) and summarize with median +
+/// relative MAD.
+pub fn time_median(k: usize, mut sample: impl FnMut() -> f64) -> Stats {
+    let samples: Vec<f64> = (0..k).map(|_| sample()).collect();
+    stats_of(&samples)
+}
+
+/// Time one closure invocation.
+pub fn timed(work: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    work();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Trajectory directory: `$GMG_BENCH_DIR`, or the in-repo `bench/`.
+pub fn bench_dir() -> PathBuf {
+    crate::report::ensure_dir(Some(
+        std::env::var_os("GMG_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("bench")),
+    ))
+}
+
+fn entry_index(name: &str) -> Option<u64> {
+    name.strip_prefix("BENCH_")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+/// Latest committed trajectory entry in `dir`, if any.
+pub fn latest_entry(dir: &std::path::Path) -> Option<(u64, Value)> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for e in std::fs::read_dir(dir).ok()? {
+        let e = e.ok()?;
+        if let Some(i) = entry_index(&e.file_name().to_string_lossy()) {
+            if best.as_ref().map_or(true, |(b, _)| i > *b) {
+                best = Some((i, e.path()));
+            }
+        }
+    }
+    let (i, path) = best?;
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    Some((i, v))
+}
+
+fn init_x(p: Point3) -> f64 {
+    ((p.x * 7 + p.y * 3 - p.z * 5).rem_euclid(13)) as f64 * 0.125
+}
+
+fn init_b(p: Point3) -> f64 {
+    ((p.x * 2 - p.y * 5 + p.z * 11).rem_euclid(9)) as f64 * 0.25 - 1.0
+}
+
+/// Star-7 coefficients of the unit-spacing Poisson operator plus the
+/// matching Jacobi damping (mirrors `Level`'s `alpha/beta/gamma`).
+fn coeffs() -> (f64, f64, f64) {
+    (-6.0, 1.0, -0.5 / 6.0 * (2.0 / 3.0))
+}
+
+fn mk_layout(n: i64, bd: i64) -> Arc<BrickLayout> {
+    Arc::new(BrickLayout::new(
+        Box3::cube(n),
+        bd,
+        1,
+        BrickOrdering::SurfaceMajor,
+    ))
+}
+
+fn bench_applyop(opts: &GateOpts) -> BenchOut {
+    let n = opts.grid;
+    let owned = Box3::cube(n);
+    let layout = mk_layout(n, 8);
+    let src = BrickedField::from_fn(layout.clone(), init_x);
+    let mut dst = BrickedField::new(layout);
+    let (alpha, beta, _) = coeffs();
+    let cand = time_median(opts.samples, || {
+        timed(|| apply_star7_bricked(&mut dst, &src, alpha, beta, owned))
+    });
+
+    let a_src = Array3::from_fn(owned, 1, init_x);
+    let mut a_dst = Array3::from_fn(owned, 1, |_| 0.0);
+    let base = time_median(opts.samples, || {
+        timed(|| apply_star7_array(&mut a_dst, &a_src, alpha, beta, owned))
+    });
+    finish(
+        "applyop_bricked_vs_array",
+        "array applyOp",
+        "bricked applyOp",
+        base,
+        cand,
+        None,
+        json!({ "grid": n, "brick_dim": 8i64 }),
+        opts,
+    )
+}
+
+fn bench_smooth_residual(opts: &GateOpts) -> BenchOut {
+    let n = opts.grid;
+    let owned = Box3::cube(n);
+    let layout = mk_layout(n, 8);
+    let x0 = BrickedField::from_fn(layout.clone(), init_x);
+    let bf = BrickedField::from_fn(layout.clone(), init_b);
+    let mut x = x0.clone();
+    let mut ax = BrickedField::new(layout.clone());
+    let mut r = BrickedField::new(layout.clone());
+    let (alpha, beta, gamma) = coeffs();
+    let pieces = layout.slots_intersecting(owned);
+
+    // Candidate: applyOp + one pointwise pass updating x *and* r.
+    let cand = time_median(opts.samples, || {
+        x.as_mut_slice().copy_from_slice(x0.as_slice());
+        timed(|| {
+            apply_star7_bricked(&mut ax, &x, alpha, beta, owned);
+            par_pointwise_mut2(&mut x, &mut r, &ax, &bf, &pieces, move |x, r, ax, b| {
+                *r = b - ax;
+                *x += gamma * (ax - b);
+            });
+        })
+    });
+    // Baseline: applyOp + smooth, then a second applyOp + residual pass.
+    let base = time_median(opts.samples, || {
+        x.as_mut_slice().copy_from_slice(x0.as_slice());
+        timed(|| {
+            apply_star7_bricked(&mut ax, &x, alpha, beta, owned);
+            par_pointwise_mut1(&mut x, &ax, &bf, &pieces, move |x, ax, b| {
+                *x += gamma * (ax - b);
+            });
+            apply_star7_bricked(&mut ax, &x, alpha, beta, owned);
+            par_pointwise_mut1(&mut r, &ax, &bf, &pieces, move |r, ax, b| {
+                *r = b - ax;
+            });
+        })
+    });
+    finish(
+        "smooth_residual_fused_vs_split",
+        "smooth then residual",
+        "fused smooth+residual",
+        base,
+        cand,
+        None,
+        json!({ "grid": n, "brick_dim": 8i64 }),
+        opts,
+    )
+}
+
+fn bench_multismooth(opts: &GateOpts) -> BenchOut {
+    let n = opts.grid;
+    let bd = 8i64;
+    let owned = Box3::cube(n);
+    let layout = mk_layout(n, bd);
+    let x0 = BrickedField::from_fn(layout.clone(), init_x);
+    let bf = BrickedField::from_fn(layout.clone(), init_b);
+    let mut x = x0.clone();
+    let mut r = BrickedField::new(layout.clone());
+    let mut ax = BrickedField::new(layout.clone());
+    let (alpha, beta, gamma) = coeffs();
+    // The paper's 12 smooths as 3 fused groups of 4 (the solver default),
+    // vs the identical logical schedule sweep-by-sweep: iteration k of a
+    // group updates owned.shrink(k) — same points, same FLOPs.
+    let (groups, depth) = (3usize, 4usize);
+    let tile = fused_tile_cells(bd);
+
+    let mut last_stats = None;
+    let cand = time_median(opts.samples, || {
+        x.as_mut_slice().copy_from_slice(x0.as_slice());
+        timed(|| {
+            for _ in 0..groups {
+                last_stats = Some(fused_multismooth_bricked(
+                    &mut x,
+                    &bf,
+                    Some(&mut r),
+                    alpha,
+                    beta,
+                    gamma,
+                    owned,
+                    depth,
+                    tile,
+                ));
+            }
+        })
+    });
+    let base = time_median(opts.samples, || {
+        x.as_mut_slice().copy_from_slice(x0.as_slice());
+        timed(|| {
+            for _ in 0..groups {
+                for k in 0..depth as i64 {
+                    let rk = owned.shrink(k);
+                    apply_star7_bricked(&mut ax, &x, alpha, beta, rk);
+                    let pieces = layout.slots_intersecting(rk);
+                    par_pointwise_mut2(&mut x, &mut r, &ax, &bf, &pieces, move |x, r, ax, b| {
+                        *r = b - ax;
+                        *x += gamma * (ax - b);
+                    });
+                }
+            }
+        })
+    });
+    let stats = last_stats.expect("fused executor ran");
+    // `points_updated` already counts every point-iteration, so this is
+    // doubles per point per smooth iteration — the sweep path moves ~7.
+    let fused_dpp = stats.doubles_per_point();
+    finish(
+        "multismooth_fused_vs_sweep",
+        "sweep-by-sweep CA smooth",
+        "fused multi-smooth",
+        base,
+        cand,
+        Some(MULTISMOOTH_FLOOR),
+        json!({
+            "grid": n,
+            "brick_dim": bd,
+            "smooths": (groups * depth) as u64,
+            "fused_depth": depth as u64,
+            "tile_cells": tile,
+            "fused_doubles_per_point_per_iter": fused_dpp,
+            "sweep_doubles_per_point_per_iter": 7.0f64,
+        }),
+        opts,
+    )
+}
+
+fn bench_exchange(opts: &GateOpts) -> BenchOut {
+    let n = (opts.grid / 2).max(16);
+    let v = Box3::cube(n);
+    let time_gather = |ord: BrickOrdering, samples: usize| {
+        let layout = Arc::new(BrickLayout::new(v, 8, 1, ord));
+        let field = BrickedField::from_fn(layout.clone(), init_x);
+        let sends: Vec<Vec<u32>> = DIRECTIONS_26
+            .iter()
+            .map(|&d| layout.send_slots(d))
+            .collect();
+        let mut buf = Vec::new();
+        time_median(samples, || {
+            timed(|| {
+                for slots in &sends {
+                    field.gather_bricks(slots, &mut buf);
+                    std::hint::black_box(buf.len());
+                }
+            })
+        })
+    };
+    let cand = time_gather(BrickOrdering::SurfaceMajor, opts.samples);
+    let base = time_gather(BrickOrdering::Lexicographic, opts.samples);
+    finish(
+        "exchange_packfree_vs_packed",
+        "lexicographic gather",
+        "surface-major gather",
+        base,
+        cand,
+        None,
+        json!({ "grid": n, "brick_dim": 8i64, "directions": 26u64 }),
+        opts,
+    )
+}
+
+fn bench_vcycle(opts: &GateOpts) -> BenchOut {
+    let n = (opts.grid / 2).max(16);
+    let decomp = Decomposition::new(Box3::cube(n), Point3::splat(1));
+    let mut cfg = SolverConfig {
+        num_levels: 3,
+        tolerance: 0.0,
+        max_vcycles: 2,
+        brick_dim: 8,
+        ..SolverConfig::test_default()
+    };
+    let solve = |cfg: SolverConfig, samples: usize| {
+        let d = &decomp;
+        time_median(samples, || {
+            timed(|| {
+                RankWorld::run(1, move |mut ctx| {
+                    let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+                    s.solve(&mut ctx);
+                });
+            })
+        })
+    };
+    let cand = solve(cfg, opts.samples);
+    cfg.fused_smooths = 1;
+    let base = solve(cfg, opts.samples);
+    finish(
+        "vcycle_fused_vs_sweep",
+        "V-cycle, sweep smoothing",
+        "V-cycle, fused smoothing",
+        base,
+        cand,
+        None,
+        json!({ "grid": n, "levels": 3u64, "vcycles": 2u64 }),
+        opts,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    id: &'static str,
+    baseline_label: &'static str,
+    candidate_label: &'static str,
+    baseline: Stats,
+    mut candidate: Stats,
+    floor: Option<f64>,
+    extra: Value,
+    opts: &GateOpts,
+) -> BenchOut {
+    if opts.inject_slowdown_pct > 0.0 {
+        candidate.median *= 1.0 + opts.inject_slowdown_pct / 100.0;
+    }
+    BenchOut {
+        id,
+        baseline_label,
+        candidate_label,
+        baseline,
+        candidate,
+        ratio: baseline.median / candidate.median,
+        floor,
+        extra,
+    }
+}
+
+/// Run the full suite.
+pub fn run_suite(opts: &GateOpts) -> Vec<BenchOut> {
+    crate::report::heading("perfgate — hot-kernel macro-benchmarks");
+    let mut out = Vec::new();
+    for (name, f) in [
+        ("applyop", bench_applyop as fn(&GateOpts) -> BenchOut),
+        ("smooth+residual", bench_smooth_residual),
+        ("multi-smooth", bench_multismooth),
+        ("exchange", bench_exchange),
+        ("vcycle", bench_vcycle),
+    ] {
+        println!("running {name} ...");
+        let b = f(opts);
+        println!(
+            "  {:<32} {:>9} vs {:>9}  ratio {:.3}{} (±{:.1}% MAD)",
+            b.id,
+            crate::report::fmt_time(b.candidate.median),
+            crate::report::fmt_time(b.baseline.median),
+            b.ratio,
+            b.floor.map(|f| format!(" [floor {f}]")).unwrap_or_default(),
+            100.0 * (b.baseline.rel_mad + b.candidate.rel_mad),
+        );
+        out.push(b);
+    }
+    out
+}
+
+/// A gate violation (printed and counted toward the exit code).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    pub id: String,
+    pub what: String,
+}
+
+/// Noise-widened regression tolerance for one comparison: 3× the *worst*
+/// relative MAD in play (either side now, or the recorded entry), floored
+/// at [`BASE_TOLERANCE`]. The worst component — not the sum — so one
+/// noisy side widens the gate proportionally but three quiet-ish sides
+/// cannot compound into a tolerance that swallows a real 30% regression.
+pub fn tolerance(now: &BenchOut, then_rel_mad: f64) -> f64 {
+    let worst = now
+        .baseline
+        .rel_mad
+        .max(now.candidate.rel_mad)
+        .max(then_rel_mad);
+    BASE_TOLERANCE.max(3.0 * worst)
+}
+
+/// Apply the gate rules: hard floors, deterministic traffic invariants,
+/// and regression against the latest trajectory entry (if present).
+pub fn check(benches: &[BenchOut], trajectory: Option<&Value>) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for b in benches {
+        if let Some(floor) = b.floor {
+            if b.ratio < floor {
+                v.push(Violation {
+                    id: b.id.to_string(),
+                    what: format!("ratio {:.3} below hard floor {floor}", b.ratio),
+                });
+            }
+        }
+        if b.id == "multismooth_fused_vs_sweep" {
+            let dpp = b.extra["fused_doubles_per_point_per_iter"]
+                .as_f64()
+                .unwrap_or(f64::INFINITY);
+            if dpp >= 7.0 {
+                v.push(Violation {
+                    id: b.id.to_string(),
+                    what: format!("fused traffic {dpp:.2} doubles/pt/iter not below sweep's 7"),
+                });
+            }
+        }
+        if let Some(t) = trajectory {
+            let rows = match t["benchmarks"].as_array() {
+                Some(r) => r,
+                None => continue,
+            };
+            let prev = rows.iter().find(|r| r["id"].as_str() == Some(b.id));
+            if let Some(prev) = prev {
+                let (Some(prev_ratio), prev_mad) = (
+                    prev["ratio"].as_f64(),
+                    prev["rel_mad"].as_f64().unwrap_or(0.0),
+                ) else {
+                    continue;
+                };
+                let tol = tolerance(b, prev_mad);
+                if b.ratio < prev_ratio * (1.0 - tol) {
+                    v.push(Violation {
+                        id: b.id.to_string(),
+                        what: format!(
+                            "ratio {:.3} regressed {:.0}% vs trajectory {:.3} (tolerance {:.0}%)",
+                            b.ratio,
+                            100.0 * (1.0 - b.ratio / prev_ratio),
+                            prev_ratio,
+                            100.0 * tol
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Serialize one trajectory entry.
+pub fn entry_to_json(opts: &GateOpts, index: u64, benches: &[BenchOut]) -> Value {
+    let rows: Vec<Value> = benches
+        .iter()
+        .map(|b| {
+            json!({
+                "id": b.id,
+                "baseline": b.baseline_label,
+                "candidate": b.candidate_label,
+                "baseline_seconds": b.baseline.median,
+                "candidate_seconds": b.candidate.median,
+                "ratio": b.ratio,
+                "rel_mad": b.baseline.rel_mad.max(b.candidate.rel_mad),
+                "floor": b.floor.unwrap_or(0.0),
+                "extra": b.extra.clone(),
+            })
+        })
+        .collect();
+    json!({
+        "schema": 1u64,
+        "entry": index,
+        "grid": opts.grid,
+        "samples": opts.samples,
+        "threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "injected_slowdown_pct": opts.inject_slowdown_pct,
+        "benchmarks": rows,
+    })
+}
+
+/// Full perfgate run; returns the process exit code.
+pub fn run(opts: &GateOpts) -> i32 {
+    let dir = bench_dir();
+    let benches = run_suite(opts);
+    let latest = latest_entry(&dir);
+    let trajectory = latest.as_ref().map(|(_, v)| v);
+    let violations = check(&benches, trajectory);
+    for v in &violations {
+        eprintln!("VIOLATION [{}]: {}", v.id, v.what);
+    }
+    if !opts.check_only {
+        let index = latest.map(|(i, _)| i).unwrap_or(0) + 1;
+        let entry = entry_to_json(opts, index, &benches);
+        let text = serde_json::to_string_pretty(&entry).expect("serialize entry");
+        let path = crate::report::save_raw_in(&dir, &format!("BENCH_{index}.json"), &(text + "\n"));
+        println!("[appended trajectory entry {path:?}]");
+    }
+    if violations.is_empty() {
+        println!("perfgate: PASS ({} benchmarks)", benches.len());
+        0
+    } else {
+        eprintln!("perfgate: FAIL ({} violations)", violations.len());
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> GateOpts {
+        GateOpts {
+            grid: 32,
+            samples: 3,
+            inject_slowdown_pct: 0.0,
+            check_only: true,
+        }
+    }
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        // One wild outlier barely moves either statistic.
+        assert_eq!(median(&[1.0, 1.1, 0.9, 100.0, 1.0]), 1.0);
+        assert!(mad(&[1.0, 1.1, 0.9, 100.0, 1.0]) <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn suite_runs_and_produces_sane_ratios() {
+        let opts = tiny_opts();
+        let benches = run_suite(&opts);
+        assert_eq!(benches.len(), 5);
+        for b in &benches {
+            assert!(b.ratio.is_finite() && b.ratio > 0.0, "{}: {:?}", b.id, b);
+            assert!(b.baseline.median > 0.0 && b.candidate.median > 0.0);
+        }
+        // The traffic invariant is deterministic at any size.
+        let ms = benches
+            .iter()
+            .find(|b| b.id == "multismooth_fused_vs_sweep")
+            .unwrap();
+        let dpp = ms.extra["fused_doubles_per_point_per_iter"]
+            .as_f64()
+            .unwrap();
+        assert!(dpp < 7.0, "fused traffic model {dpp} >= sweep");
+    }
+
+    #[test]
+    fn injected_slowdown_trips_the_gate() {
+        // Synthetic benches: no timing noise, so the gate math is exact.
+        let mk = |ratio: f64, floor: Option<f64>| BenchOut {
+            id: "multismooth_fused_vs_sweep",
+            baseline_label: "b",
+            candidate_label: "c",
+            baseline: Stats {
+                median: ratio,
+                rel_mad: 0.0,
+            },
+            candidate: Stats {
+                median: 1.0,
+                rel_mad: 0.0,
+            },
+            ratio,
+            floor,
+            extra: json!({ "fused_doubles_per_point_per_iter": 3.5f64 }),
+        };
+        // Healthy: above floor, matches trajectory.
+        let prev = entry_to_json(&tiny_opts(), 1, &[mk(1.3, Some(MULTISMOOTH_FLOOR))]);
+        assert!(check(&[mk(1.3, Some(MULTISMOOTH_FLOOR))], Some(&prev)).is_empty());
+        // A 30% injected slowdown divides the ratio by 1.3: floor AND
+        // trajectory regression both fire.
+        let slowed = mk(1.3 / 1.3, Some(MULTISMOOTH_FLOOR));
+        let v = check(&[slowed], Some(&prev));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].what.contains("hard floor"));
+        assert!(v[1].what.contains("regressed"));
+    }
+
+    #[test]
+    fn traffic_invariant_fires_when_model_regresses() {
+        let bad = BenchOut {
+            id: "multismooth_fused_vs_sweep",
+            baseline_label: "b",
+            candidate_label: "c",
+            baseline: Stats {
+                median: 2.0,
+                rel_mad: 0.0,
+            },
+            candidate: Stats {
+                median: 1.0,
+                rel_mad: 0.0,
+            },
+            ratio: 2.0,
+            floor: None,
+            extra: json!({ "fused_doubles_per_point_per_iter": 7.5f64 }),
+        };
+        let v = check(&[bad], None);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("doubles/pt"));
+    }
+
+    #[test]
+    fn noisy_samples_widen_the_tolerance() {
+        let noisy = BenchOut {
+            id: "vcycle_fused_vs_sweep",
+            baseline_label: "b",
+            candidate_label: "c",
+            baseline: Stats {
+                median: 1.0,
+                rel_mad: 0.08,
+            },
+            candidate: Stats {
+                median: 1.0,
+                rel_mad: 0.08,
+            },
+            ratio: 1.0,
+            floor: None,
+            extra: json!({}),
+        };
+        // 3·max(0.08, 0.08, 0.04) = 24% — above the 10% base tolerance,
+        // but the components do not compound.
+        assert!((tolerance(&noisy, 0.04) - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_files_index_and_roundtrip() {
+        let dir = std::env::temp_dir().join("gmg_perfgate_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(latest_entry(&dir).is_none());
+        let opts = tiny_opts();
+        let b = run_suite(&GateOpts {
+            grid: 16,
+            samples: 1,
+            ..opts
+        });
+        for i in 1..=2u64 {
+            let entry = entry_to_json(&opts, i, &b);
+            let text = serde_json::to_string_pretty(&entry).unwrap();
+            crate::report::save_raw_in(&dir, &format!("BENCH_{i}.json"), &text);
+        }
+        let (i, v) = latest_entry(&dir).unwrap();
+        assert_eq!(i, 2);
+        assert_eq!(v["entry"].as_u64(), Some(2));
+        let rows = v["benchmarks"].as_array().unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0]["id"].as_str(), Some("applyop_bricked_vs_array"));
+        // And the fresh run gates cleanly against its own entry.
+        assert!(check(&b, Some(&v)).is_empty());
+    }
+}

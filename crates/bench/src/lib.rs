@@ -23,7 +23,10 @@
 //! with Perfetto (Chrome trace-event) export and a roofline check, run via
 //! `--bin profile` — and [`chaos`] — the seeded fault-injection soak
 //! (transport faults, solver self-healing, graceful rank death), run via
-//! `--bin chaos -- --seed N`. Every binary honours `GMG_TRACE=<path>` to
+//! `--bin chaos -- --seed N` — and [`gate`] — the perfgate hot-kernel
+//! macro-benchmark and noise-robust regression gate over the committed
+//! `bench/BENCH_<n>.json` trajectory, run via `--bin perfgate`
+//! (`-- --check` in CI). Every binary honours `GMG_TRACE=<path>` to
 //! capture a trace of its run.
 //!
 //! Each `run()` prints the same rows/series the paper reports and returns a
@@ -39,6 +42,7 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod gate;
 pub mod measured;
 pub mod plot;
 pub mod profile;

@@ -33,8 +33,19 @@ pub fn with_env_trace<T>(f: impl FnOnce() -> T) -> T {
 pub fn with_trace_to<T>(path: Option<PathBuf>, f: impl FnOnce() -> T) -> T {
     let Some(path) = path else { return f() };
     let (out, trace) = gmg_trace::capture(f);
-    std::fs::write(&path, trace.to_chrome_string())
-        .unwrap_or_else(|e| panic!("write trace {path:?}: {e}"));
+    // Route through the shared writer so directory creation and write
+    // errors behave exactly like every other results artifact.
+    let dir = crate::report::ensure_dir(Some(
+        path.parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from(".")),
+    ));
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace.json".into());
+    let path = crate::report::save_raw_in(&dir, &name, &trace.to_chrome_string());
     eprintln!("[trace: {} events -> {path:?}]", trace.events.len());
     out
 }
@@ -74,9 +85,8 @@ pub fn run_in(dir: &Path, host: &HostRoofline) -> Value {
     let (report, trace) = traced_solve();
     let summary = TraceSummary::from_trace(&trace);
 
-    let trace_path = dir.join("profile_trace.json");
-    std::fs::write(&trace_path, trace.to_chrome_string())
-        .unwrap_or_else(|e| panic!("write trace {trace_path:?}: {e}"));
+    let trace_path =
+        crate::report::save_raw_in(dir, "profile_trace.json", &trace.to_chrome_string());
     println!(
         "wrote {} events from {} ranks -> {trace_path:?}",
         trace.events.len(),

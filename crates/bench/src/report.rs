@@ -38,6 +38,23 @@ pub fn save_in(dir: &Path, name: &str, value: &Value) -> PathBuf {
     path
 }
 
+/// Persist an already-serialized artifact (e.g. a Chrome trace JSON
+/// string) under the results directory, honouring `GMG_RESULTS_DIR` like
+/// [`save`]; returns the written path. Binaries must route *every*
+/// results-file write through here or [`save`]/[`save_in`] so the
+/// redirect is honoured everywhere.
+pub fn save_raw(file_name: &str, contents: &str) -> PathBuf {
+    save_raw_in(&results_dir(), file_name, contents)
+}
+
+/// [`save_raw`] with an explicit directory (tests use a temp dir rather
+/// than mutating the process-global `GMG_RESULTS_DIR`).
+pub fn save_raw_in(dir: &Path, file_name: &str, contents: &str) -> PathBuf {
+    let path = dir.join(file_name);
+    fs::write(&path, contents).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    path
+}
+
 /// Print a section header.
 pub fn heading(title: &str) {
     println!("\n=== {title} ===");
@@ -75,6 +92,14 @@ mod tests {
         assert_eq!(p, dir.join("unit_test_artifact.json"));
         let back: Value = serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn save_raw_honours_explicit_dir() {
+        let dir = ensure_dir(Some(std::env::temp_dir().join("gmg_results_raw_test")));
+        let p = save_raw_in(&dir, "unit_test_trace.json", "[]");
+        assert_eq!(p, dir.join("unit_test_trace.json"));
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "[]");
     }
 
     #[test]

@@ -4,7 +4,18 @@ use crate::problem::PoissonProblem;
 use gmg_brick::{BrickLayout, BrickOrdering, BrickedField};
 use gmg_mesh::{Box3, Decomposition, Point3};
 use gmg_stencil::exec_brick::{apply_star7_bricked, par_pointwise_mut1, par_pointwise_mut2};
+use gmg_stencil::exec_fused::{fused_multismooth_bricked, FusedStats};
 use std::sync::Arc;
+
+/// Default cache-tile edge for the fused multi-smooth executor: whole
+/// bricks, ~64 cells a side. With the rolling-plane `A·x` buffer the
+/// per-tile scratch is 3 fields, so a depth-4 group's working set
+/// (`72³·3·8B ≈ 9 MB`) sits in a shared L3 slice while the halo
+/// redundancy drops to ~14% (vs ~30% at 32) — measured ~1.5× faster than
+/// 32-cell tiles for the perfgate multismooth shape.
+pub fn fused_tile_cells(brick_dim: i64) -> i64 {
+    (64 / brick_dim).max(1) * brick_dim
+}
 
 /// One level of the multigrid hierarchy on one rank: the four fields of the
 /// V-cycle (`x`, `b`, `Ax`, `r`) in bricked storage plus the level's
@@ -123,6 +134,39 @@ impl Level {
                 *x += gamma * (ax - b);
             },
         );
+    }
+
+    /// Apply `s` fused Jacobi-family smooth iterations over the shrinking
+    /// communication-avoiding schedule rooted at `region`, bit-identical
+    /// to `s` sequential `apply_op` + `smooth(_residual)` passes (see
+    /// [`gmg_stencil::exec_fused`]). Unlike the sweep path this leaves
+    /// `ax` untouched — every downstream reader refreshes it first, and
+    /// skipping it is part of the traffic saving. The caller accounts the
+    /// `s` margin cells consumed.
+    pub fn fused_multi_smooth(
+        &mut self,
+        region: Box3,
+        s: usize,
+        gamma: f64,
+        with_residual: bool,
+    ) -> FusedStats {
+        let tile = fused_tile_cells(self.layout.brick_dim());
+        let r = if with_residual {
+            Some(&mut self.r)
+        } else {
+            None
+        };
+        fused_multismooth_bricked(
+            &mut self.x,
+            &self.b,
+            r,
+            self.alpha,
+            self.beta,
+            gamma,
+            region,
+            s,
+            tile,
+        )
     }
 
     /// `r ← b − Ax` over `region` (used by the convergence check).

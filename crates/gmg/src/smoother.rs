@@ -55,6 +55,19 @@ impl Smoother {
         self.margin_per_iteration() as usize
     }
 
+    /// The fused multi-smooth executor handles the Jacobi family
+    /// (pointwise updates over a fresh `Ax`, one margin cell per
+    /// iteration). Returns the effective γ it must apply given the
+    /// level's paper γ = h²/12, or `None` for the colored smoothers,
+    /// whose two neighbor-reading half-sweeps don't fuse.
+    pub fn fused_gamma(&self, level_gamma: f64) -> Option<f64> {
+        match *self {
+            Smoother::Jacobi => Some(level_gamma),
+            Smoother::WeightedJacobi { omega } => Some(omega * level_gamma / 0.5),
+            Smoother::RedBlackGaussSeidel | Smoother::Sor { .. } => None,
+        }
+    }
+
     /// Display name (for timers and reports).
     pub fn name(&self) -> &'static str {
         match self {

@@ -12,6 +12,7 @@ use gmg_comm::runtime::RankCtx;
 use gmg_mesh::Decomposition;
 #[cfg(test)]
 use gmg_mesh::Point3;
+use gmg_stencil::exec_fused::FusedStats;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -37,6 +38,12 @@ pub struct SolverConfig {
     /// Smoother (the paper uses point Jacobi; alternatives are the
     /// paper's stated future work).
     pub smoother: Smoother,
+    /// Maximum Jacobi-family smooth iterations fused into one
+    /// cache-resident tile pass (`gmg_stencil::exec_fused`); 0 or 1
+    /// selects the sweep-by-sweep schedule. Only effective in
+    /// communication-avoiding mode, bounded by the available ghost
+    /// margin, and bit-identical to the sweep path either way.
+    pub fused_smooths: usize,
     /// Cycle index γ: 1 = V-cycle (the paper), 2 = W-cycle.
     pub cycle_gamma: usize,
     /// What to do when the health guards detect divergence or a
@@ -71,6 +78,7 @@ impl SolverConfig {
             brick_dim: 8,
             ordering: BrickOrdering::SurfaceMajor,
             smoother: Smoother::Jacobi,
+            fused_smooths: 4,
             cycle_gamma: 1,
             recovery: RecoveryPolicy::Abort,
             checkpoint_interval: 4,
@@ -91,6 +99,7 @@ impl SolverConfig {
             brick_dim: 4,
             ordering: BrickOrdering::SurfaceMajor,
             smoother: Smoother::Jacobi,
+            fused_smooths: 4,
             cycle_gamma: 1,
             recovery: RecoveryPolicy::Abort,
             checkpoint_interval: 1,
@@ -250,22 +259,73 @@ impl GmgSolver {
         }
     }
 
+    /// Record one fused multi-smooth group: an OpTimer `fusedSmooth` row
+    /// plus a trace span carrying the executor's *measured* counters —
+    /// the generic per-op tables can't price this op (its traffic depends
+    /// on tile geometry and fusion depth), so the kernel reports its own.
+    fn record_fused_op(&mut self, level: usize, t0: Instant, t1: Instant, stats: &FusedStats) {
+        let secs = (t1 - t0).as_secs_f64();
+        self.timers.record(level, "fusedSmooth", secs);
+        if gmg_trace::enabled() {
+            gmg_trace::record_span_at(
+                self.rank,
+                level,
+                "fusedSmooth",
+                gmg_trace::Track::Compute,
+                t0,
+                secs,
+                gmg_trace::Counters {
+                    bytes_read: stats.doubles_read * 8,
+                    bytes_written: stats.doubles_written * 8,
+                    flops: stats.flops,
+                    stencil_points: stats.points_updated,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
     /// One smoothing pass at level `li`: `n` iterations of
     /// `exchange → applyOp → smooth(+residual)`, with the exchange elided
     /// while the communication-avoiding ghost margin lasts. Smoothers that
     /// make two neighbor-reading passes per iteration (red-black variants)
-    /// consume two margin cells per iteration.
+    /// consume two margin cells per iteration. Jacobi-family iterations
+    /// are grouped `config.fused_smooths` at a time through the fused
+    /// cache-tile executor when the margin allows — same schedule, same
+    /// exchanges, bit-identical numerics, less memory traffic.
     fn smooth_pass(&mut self, ctx: &mut RankCtx, li: usize, n: usize, fused: bool) {
         let ca = self.config.communication_avoiding;
         let smoother = self.config.smoother;
         let need = smoother.margin_per_iteration();
-        for _ in 0..n {
+        let fused_gamma = smoother.fused_gamma(self.levels[li].gamma);
+        let mut done = 0;
+        while done < n {
             if !ca || self.levels[li].margin < need {
                 let tag = self.next_tag();
                 let level = &mut self.levels[li];
                 let t0 = Instant::now();
                 exchange_x(ctx, level, tag);
                 self.record_op(li, "exchange", t0, Instant::now(), 0);
+            }
+            if ca && self.config.fused_smooths >= 2 {
+                if let Some(gamma) = fused_gamma {
+                    let level = &mut self.levels[li];
+                    let s = self
+                        .config
+                        .fused_smooths
+                        .min(n - done)
+                        .min(level.margin.max(0) as usize);
+                    if s >= 2 {
+                        let region = level.owned.grow(level.margin - 1);
+                        let t0 = Instant::now();
+                        let stats = level.fused_multi_smooth(region, s, gamma, fused);
+                        let t1 = Instant::now();
+                        self.record_fused_op(li, t0, t1, &stats);
+                        self.levels[li].margin -= s as i64;
+                        done += s;
+                        continue;
+                    }
+                }
             }
             let level = &mut self.levels[li];
             // CA mode works on the shrinking valid region; otherwise the
@@ -301,6 +361,7 @@ impl GmgSolver {
                 self.record_op(li, smoother.name(), t0, Instant::now(), points);
             }
             self.levels[li].margin -= need;
+            done += 1;
         }
     }
 
@@ -685,6 +746,10 @@ mod tests {
 
     #[test]
     fn timers_populated_per_level() {
+        // Default config: Jacobi iterations run through the fused
+        // cache-tile executor in groups of `fused_smooths` (bounded by
+        // the ghost depth), so the per-iteration applyOp/smooth rows are
+        // replaced by one `fusedSmooth` row per group.
         let mut cfg = SolverConfig::test_default();
         cfg.num_levels = 2;
         cfg.max_vcycles = 1;
@@ -694,14 +759,72 @@ mod tests {
         RankWorld::run(1, move |mut ctx| {
             let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
             s.solve(&mut ctx);
-            assert!(s.timers.count(0, "applyOp") >= 2 * cfg.max_smooths);
-            assert!(s.timers.count(0, "smooth+residual") >= 2 * cfg.max_smooths);
-            assert_eq!(s.timers.count(1, "smooth"), cfg.bottom_smooths);
+            // ghost depth (= brick_dim here) caps the fusion depth.
+            let group = cfg.fused_smooths.min(cfg.brick_dim as usize);
+            let groups_of = |n: usize| n.div_ceil(group);
+            assert_eq!(
+                s.timers.count(0, "fusedSmooth"),
+                2 * groups_of(cfg.max_smooths)
+            );
+            assert_eq!(
+                s.timers.count(1, "fusedSmooth"),
+                groups_of(cfg.bottom_smooths)
+            );
+            // The sweep-by-sweep rows only appear when fusion is off.
+            assert_eq!(s.timers.count(0, "applyOp"), 0);
+            assert_eq!(s.timers.count(0, "smooth+residual"), 0);
+            assert_eq!(s.timers.count(1, "smooth"), 0);
             assert_eq!(s.timers.count(0, "restriction"), 1);
             assert_eq!(s.timers.count(0, "interpolation+increment"), 1);
             assert!(s.timers.count(0, "exchange") > 0);
             assert_eq!(s.timers.count(1, "initZero"), 1);
         });
+    }
+
+    #[test]
+    fn timers_populated_per_level_sweep_schedule() {
+        // With fusion disabled the paper's split timer rows come back.
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 2;
+        cfg.max_vcycles = 1;
+        cfg.tolerance = 0.0;
+        cfg.fused_smooths = 1;
+        let decomp = Decomposition::new(Box3::cube(16), Point3::splat(1));
+        let d = &decomp;
+        RankWorld::run(1, move |mut ctx| {
+            let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+            s.solve(&mut ctx);
+            assert!(s.timers.count(0, "applyOp") >= 2 * cfg.max_smooths);
+            assert!(s.timers.count(0, "smooth+residual") >= 2 * cfg.max_smooths);
+            assert_eq!(s.timers.count(1, "smooth"), cfg.bottom_smooths);
+            assert_eq!(s.timers.count(0, "fusedSmooth"), 0);
+            assert_eq!(s.timers.count(0, "restriction"), 1);
+            assert_eq!(s.timers.count(0, "interpolation+increment"), 1);
+            assert!(s.timers.count(0, "exchange") > 0);
+            assert_eq!(s.timers.count(1, "initZero"), 1);
+        });
+    }
+
+    #[test]
+    fn fused_and_sweep_produce_identical_histories() {
+        // The fused executor is bit-identical to the sweep-by-sweep CA
+        // schedule, so the residual histories must match exactly — no
+        // tolerance — on one rank and across a 2×1×1 decomposition.
+        let mut fused = SolverConfig::test_default();
+        fused.num_levels = 2;
+        fused.max_vcycles = 4;
+        fused.tolerance = 0.0;
+        assert!(fused.fused_smooths >= 2, "default must exercise fusion");
+        let mut sweep = fused;
+        sweep.fused_smooths = 1;
+        for ranks in [Point3::splat(1), Point3::new(2, 1, 1)] {
+            let a = solve_with(16, ranks, fused);
+            let b = solve_with(16, ranks, sweep);
+            assert_eq!(
+                a[0].0.residual_history, b[0].0.residual_history,
+                "fused vs sweep histories diverge at ranks {ranks:?}"
+            );
+        }
     }
 
     #[test]

@@ -30,12 +30,16 @@
 //!   hand-specialized fast kernels that play the role of BrickLib's
 //!   generated code (tight per-brick inner loops with neighbor indirection
 //!   only on brick faces).
+//! * [`exec_fused`] — fused communication-avoiding multi-smooth executors:
+//!   temporal blocking of `s` Jacobi iterations over cache-resident brick
+//!   tiles, bit-identical to the sweep-by-sweep schedule.
 //! * [`ops`] — the canonical V-cycle operator definitions and their traffic
 //!   metadata used by the performance models.
 
 pub mod analysis;
 pub mod exec_array;
 pub mod exec_brick;
+pub mod exec_fused;
 pub mod expr;
 pub mod ops;
 

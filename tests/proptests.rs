@@ -2,7 +2,10 @@
 
 use gmg_repro::prelude::*;
 use gmg_repro::stencil::exec_array::run_stencil_array;
-use gmg_repro::stencil::exec_brick::run_stencil_bricked;
+use gmg_repro::stencil::exec_brick::{
+    apply_star7_bricked, par_pointwise_mut2, run_stencil_bricked,
+};
+use gmg_repro::stencil::exec_fused::fused_multismooth_bricked;
 use gmg_repro::stencil::expr::StencilDef;
 use gmg_stencil::expr::ExprHandle;
 use proptest::prelude::*;
@@ -153,6 +156,50 @@ proptest! {
             ok
         });
         prop_assert!(oks.into_iter().all(|x| x));
+    }
+
+    /// The fused multi-smooth executor is bit-identical to `s` sequential
+    /// smooth+residual sweeps for any depth, brick size, tile size and
+    /// field data — including the staleness rings of the shrinking
+    /// communication-avoiding schedule.
+    #[test]
+    fn fused_multismooth_bit_identical_to_sweeps(
+        s in 1usize..5,
+        bd in prop::sample::select(vec![4i64, 8]),
+        tile_bricks in prop::sample::select(vec![1i64, 2, 3]),
+        seed in any::<i64>(),
+    ) {
+        let n = 2 * bd;
+        let layout = Arc::new(BrickLayout::new(
+            Box3::cube(n), bd, 1, BrickOrdering::SurfaceMajor,
+        ));
+        // Deepest region the ghost shell supports: region.grow(1) must
+        // stay within the bd-cell ghost zone.
+        let region = Box3::cube(n).grow((s as i64 - 1).min(bd - 1));
+        let (alpha, beta, gamma) = (-6.0, 1.0, -0.5 / 6.0 * (2.0 / 3.0));
+        let mut x1 = BrickedField::from_fn(layout.clone(), field_fn(seed));
+        let b = BrickedField::from_fn(layout.clone(), field_fn(seed ^ 0x5a5a));
+        let mut r1 = BrickedField::new(layout.clone());
+        let mut x2 = x1.clone();
+        let mut r2 = r1.clone();
+        // Sequential reference: sweep k updates region.shrink(k).
+        let mut ax = BrickedField::new(layout.clone());
+        for k in 0..s {
+            let rk = region.shrink(k as i64);
+            apply_star7_bricked(&mut ax, &x1, alpha, beta, rk);
+            let pieces = layout.slots_intersecting(rk);
+            par_pointwise_mut2(&mut x1, &mut r1, &ax, &b, &pieces, move |x, r, ax, b| {
+                *r = b - ax;
+                *x += gamma * (ax - b);
+            });
+        }
+        let stats = fused_multismooth_bricked(
+            &mut x2, &b, Some(&mut r2), alpha, beta, gamma, region, s, tile_bricks * bd,
+        );
+        prop_assert_eq!(x1.as_slice(), x2.as_slice());
+        prop_assert_eq!(r1.as_slice(), r2.as_slice());
+        let expect: u64 = (0..s).map(|k| region.shrink(k as i64).volume() as u64).sum();
+        prop_assert_eq!(stats.points_updated, expect);
     }
 
     /// Contiguous-run computation: runs are sorted, disjoint, cover the
