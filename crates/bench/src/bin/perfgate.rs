@@ -10,6 +10,7 @@
 //! ```
 
 use gmg_bench::gate::{run, GateOpts};
+use gmg_bench::profile::with_env_trace;
 
 fn main() {
     let mut opts = GateOpts::default();
@@ -31,5 +32,5 @@ fn main() {
             }
         }
     }
-    std::process::exit(run(&opts));
+    std::process::exit(with_env_trace(|| run(&opts)));
 }

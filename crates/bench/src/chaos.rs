@@ -201,6 +201,11 @@ pub fn run_with_seed(seed: u64) -> Value {
         baseline[0].final_residual()
     );
 
+    // Meter the ARQ layer across the whole campaign: the registry is
+    // process-global, so diff a snapshot taken before any faulted run.
+    let metrics_before = gmg_metrics::Registry::global().snapshot();
+    let metrics_were_enabled = gmg_metrics::enable();
+
     println!("transport faults (drop+dup+delay+corrupt, ARQ must absorb exactly):");
     let mut sweep = Vec::new();
     for (i, &rate) in [0.002, 0.01, 0.03].iter().enumerate() {
@@ -224,6 +229,15 @@ pub fn run_with_seed(seed: u64) -> Value {
     let kill = kill_run(seed);
     let kill_ok = kill["structured_failure"] == true && kill["killed_rank_reported"] == true;
 
+    if !metrics_were_enabled {
+        gmg_metrics::disable();
+    }
+    let arq = gmg_metrics::Registry::global()
+        .snapshot()
+        .delta_since(&metrics_before);
+    let arq_table = arq.render_table("arq_");
+    println!("\nfault-handling metrics (ARQ layer, campaign total):\n\n{arq_table}");
+
     let ok = sweep_ok && recovery_ok && kill_ok;
     println!(
         "\nchaos verdict: transport={} recovery={} kill-report={} → {}",
@@ -237,6 +251,9 @@ pub fn run_with_seed(seed: u64) -> Value {
         "vcycles": baseline[0].vcycles,
         "final_residual": baseline[0].final_residual(),
     });
+    let arq_retransmits = arq.counter_total("arq_retransmits_total");
+    let arq_checksum_failures = arq.counter_total("arq_checksum_failures_total");
+    let arq_dedup_drops = arq.counter_total("arq_dedup_drops_total");
     json!({
         "seed": seed,
         "baseline": baseline_v,
@@ -246,6 +263,10 @@ pub fn run_with_seed(seed: u64) -> Value {
         "recovery_ok": recovery_ok,
         "kill": kill,
         "kill_ok": kill_ok,
+        "arq_retransmits": arq_retransmits,
+        "arq_checksum_failures": arq_checksum_failures,
+        "arq_dedup_drops": arq_dedup_drops,
+        "arq_metrics_table": arq_table,
         "ok": ok,
     })
 }

@@ -28,8 +28,11 @@
 //! deterministic traffic check (fused doubles/point must undercut the
 //! 7-doubles/point sweep model).
 //!
-//! Absolute medians are recorded in every entry purely as trajectory
-//! context; they are never gated on.
+//! Absolute medians — and, since schema 2, per-side p50/p90/p99 plus the
+//! full log-bucketed nanosecond sample histograms (mergeable across
+//! entries via `gmg_metrics::Histogram`) — are recorded in every entry
+//! purely as trajectory context; they are never gated on, and schema-1
+//! entries gate exactly as before.
 
 use gmg_brick::{BrickLayout, BrickOrdering, BrickedField};
 use gmg_comm::runtime::RankWorld;
@@ -77,12 +80,38 @@ impl Default for GateOpts {
 }
 
 /// Robust summary of one timed side.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Stats {
     /// Median seconds across the samples.
     pub median: f64,
     /// Median absolute deviation relative to the median.
     pub rel_mad: f64,
+    /// 50th/90th/99th percentile seconds, estimated from the log-bucketed
+    /// sample histogram (exact to one bucket, i.e. ≤ 1/8 relative error).
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    /// Raw nanosecond sample histogram — recorded into the trajectory
+    /// entry so later runs can merge distributions across entries instead
+    /// of comparing lossy point statistics.
+    pub hist: gmg_metrics::Histogram,
+}
+
+impl Stats {
+    /// Noise-free synthetic stats (single sample at `median`) for gate-math
+    /// tests and schema fixtures.
+    pub fn synthetic(median: f64, rel_mad: f64) -> Self {
+        let mut hist = gmg_metrics::Histogram::new();
+        hist.record((median * 1e9).max(0.0) as u64);
+        Stats {
+            median,
+            rel_mad,
+            p50: median,
+            p90: median,
+            p99: median,
+            hist,
+        }
+    }
 }
 
 /// One benchmark's outcome.
@@ -123,9 +152,18 @@ pub fn mad(xs: &[f64]) -> f64 {
 
 fn stats_of(samples: &[f64]) -> Stats {
     let m = median(samples);
+    let mut hist = gmg_metrics::Histogram::new();
+    for &s in samples {
+        hist.record((s * 1e9).max(0.0) as u64);
+    }
+    let q = |p: f64| hist.quantile(p).map_or(m, |ns| ns as f64 * 1e-9);
     Stats {
         median: m,
         rel_mad: if m > 0.0 { mad(samples) / m } else { 0.0 },
+        p50: q(0.50),
+        p90: q(0.90),
+        p99: q(0.99),
+        hist,
     }
 }
 
@@ -436,15 +474,20 @@ fn finish(
     opts: &GateOpts,
 ) -> BenchOut {
     if opts.inject_slowdown_pct > 0.0 {
-        candidate.median *= 1.0 + opts.inject_slowdown_pct / 100.0;
+        let f = 1.0 + opts.inject_slowdown_pct / 100.0;
+        candidate.median *= f;
+        candidate.p50 *= f;
+        candidate.p90 *= f;
+        candidate.p99 *= f;
     }
+    let ratio = baseline.median / candidate.median;
     BenchOut {
         id,
         baseline_label,
         candidate_label,
         baseline,
         candidate,
-        ratio: baseline.median / candidate.median,
+        ratio,
         floor,
         extra,
     }
@@ -554,7 +597,26 @@ pub fn check(benches: &[BenchOut], trajectory: Option<&Value>) -> Vec<Violation>
     v
 }
 
-/// Serialize one trajectory entry.
+/// Serialize one sample histogram: summary fields plus the sparse
+/// `[bucket_index, count]` pairs `gmg_metrics::Histogram::from_parts`
+/// reconstructs from.
+fn hist_to_json(h: &gmg_metrics::Histogram) -> Value {
+    let buckets: Vec<Value> = h
+        .nonzero_buckets()
+        .map(|(i, c)| json!(vec![i as u64, c]))
+        .collect();
+    json!({
+        "count": h.count(),
+        "sum_ns": h.sum(),
+        "min_ns": h.min().unwrap_or(0),
+        "max_ns": h.max().unwrap_or(0),
+        "buckets": buckets,
+    })
+}
+
+/// Serialize one trajectory entry. Schema 2 adds per-side p50/p90/p99 and
+/// the nanosecond sample histograms; `check()` reads every field
+/// defensively, so schema-1 entries (BENCH_1) still gate cleanly.
 pub fn entry_to_json(opts: &GateOpts, index: u64, benches: &[BenchOut]) -> Value {
     let rows: Vec<Value> = benches
         .iter()
@@ -565,6 +627,14 @@ pub fn entry_to_json(opts: &GateOpts, index: u64, benches: &[BenchOut]) -> Value
                 "candidate": b.candidate_label,
                 "baseline_seconds": b.baseline.median,
                 "candidate_seconds": b.candidate.median,
+                "baseline_p50": b.baseline.p50,
+                "baseline_p90": b.baseline.p90,
+                "baseline_p99": b.baseline.p99,
+                "candidate_p50": b.candidate.p50,
+                "candidate_p90": b.candidate.p90,
+                "candidate_p99": b.candidate.p99,
+                "baseline_hist": hist_to_json(&b.baseline.hist),
+                "candidate_hist": hist_to_json(&b.candidate.hist),
                 "ratio": b.ratio,
                 "rel_mad": b.baseline.rel_mad.max(b.candidate.rel_mad),
                 "floor": b.floor.unwrap_or(0.0),
@@ -573,7 +643,7 @@ pub fn entry_to_json(opts: &GateOpts, index: u64, benches: &[BenchOut]) -> Value
         })
         .collect();
     json!({
-        "schema": 1u64,
+        "schema": 2u64,
         "entry": index,
         "grid": opts.grid,
         "samples": opts.samples,
@@ -658,14 +728,8 @@ mod tests {
             id: "multismooth_fused_vs_sweep",
             baseline_label: "b",
             candidate_label: "c",
-            baseline: Stats {
-                median: ratio,
-                rel_mad: 0.0,
-            },
-            candidate: Stats {
-                median: 1.0,
-                rel_mad: 0.0,
-            },
+            baseline: Stats::synthetic(ratio, 0.0),
+            candidate: Stats::synthetic(1.0, 0.0),
             ratio,
             floor,
             extra: json!({ "fused_doubles_per_point_per_iter": 3.5f64 }),
@@ -688,14 +752,8 @@ mod tests {
             id: "multismooth_fused_vs_sweep",
             baseline_label: "b",
             candidate_label: "c",
-            baseline: Stats {
-                median: 2.0,
-                rel_mad: 0.0,
-            },
-            candidate: Stats {
-                median: 1.0,
-                rel_mad: 0.0,
-            },
+            baseline: Stats::synthetic(2.0, 0.0),
+            candidate: Stats::synthetic(1.0, 0.0),
             ratio: 2.0,
             floor: None,
             extra: json!({ "fused_doubles_per_point_per_iter": 7.5f64 }),
@@ -711,14 +769,8 @@ mod tests {
             id: "vcycle_fused_vs_sweep",
             baseline_label: "b",
             candidate_label: "c",
-            baseline: Stats {
-                median: 1.0,
-                rel_mad: 0.08,
-            },
-            candidate: Stats {
-                median: 1.0,
-                rel_mad: 0.08,
-            },
+            baseline: Stats::synthetic(1.0, 0.08),
+            candidate: Stats::synthetic(1.0, 0.08),
             ratio: 1.0,
             floor: None,
             extra: json!({}),
@@ -726,6 +778,78 @@ mod tests {
         // 3·max(0.08, 0.08, 0.04) = 24% — above the 10% base tolerance,
         // but the components do not compound.
         assert!((tolerance(&noisy, 0.04) - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_record_quantiles_and_histogram() {
+        let s = stats_of(&[0.001, 0.002, 0.003, 0.010]);
+        assert_eq!(s.hist.count(), 4);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99, "{s:?}");
+        // Quantiles are bucket-midpoint estimates clamped to the observed
+        // sample range [1ms, 10ms].
+        assert!(s.p50 >= 0.0009 && s.p99 <= 0.0101, "{s:?}");
+        let entry = entry_to_json(
+            &tiny_opts(),
+            1,
+            &[BenchOut {
+                id: "vcycle_fused_vs_sweep",
+                baseline_label: "b",
+                candidate_label: "c",
+                baseline: s.clone(),
+                candidate: s.clone(),
+                ratio: 1.0,
+                floor: None,
+                extra: json!({}),
+            }],
+        );
+        assert_eq!(entry["schema"].as_u64(), Some(2));
+        let row = &entry["benchmarks"].as_array().unwrap()[0];
+        assert_eq!(row["candidate_hist"]["count"].as_u64(), Some(4));
+        assert!(row["candidate_p99"].as_f64().unwrap() > 0.0);
+        // The sparse bucket pairs reconstruct the identical histogram.
+        let h = &row["candidate_hist"];
+        let pairs: Vec<(usize, u64)> = h["buckets"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| {
+                let p = p.as_array().unwrap();
+                (p[0].as_u64().unwrap() as usize, p[1].as_u64().unwrap())
+            })
+            .collect();
+        let rebuilt = gmg_metrics::Histogram::from_parts(
+            &pairs,
+            h["count"].as_u64().unwrap(),
+            h["sum_ns"].as_u64().unwrap(),
+            h["min_ns"].as_u64().unwrap(),
+            h["max_ns"].as_u64().unwrap(),
+        );
+        assert_eq!(rebuilt, s.hist);
+    }
+
+    #[test]
+    fn schema1_trajectory_entries_still_gate() {
+        // BENCH_1 predates the quantile/histogram fields; the gate must
+        // read it exactly as before.
+        let prev: Value = serde_json::from_str(
+            r#"{"schema":1,"entry":1,"benchmarks":[
+                {"id":"vcycle_fused_vs_sweep","ratio":1.2,"rel_mad":0.0}]}"#,
+        )
+        .unwrap();
+        let mk = |ratio: f64| BenchOut {
+            id: "vcycle_fused_vs_sweep",
+            baseline_label: "b",
+            candidate_label: "c",
+            baseline: Stats::synthetic(ratio, 0.0),
+            candidate: Stats::synthetic(1.0, 0.0),
+            ratio,
+            floor: None,
+            extra: json!({}),
+        };
+        assert!(check(&[mk(1.19)], Some(&prev)).is_empty());
+        let v = check(&[mk(0.9)], Some(&prev));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].what.contains("regressed"));
     }
 
     #[test]

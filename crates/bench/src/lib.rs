@@ -26,14 +26,18 @@
 //! `--bin chaos -- --seed N` — and [`gate`] — the perfgate hot-kernel
 //! macro-benchmark and noise-robust regression gate over the committed
 //! `bench/BENCH_<n>.json` trajectory, run via `--bin perfgate`
-//! (`-- --check` in CI). Every binary honours `GMG_TRACE=<path>` to
-//! capture a trace of its run.
+//! (`-- --check` in CI) — and [`analyze`] — the trace-analysis report
+//! (per-V-cycle critical path, load imbalance, roofline attribution,
+//! outliers, run-vs-run diffing) over a traced solve or any `GMG_TRACE`
+//! capture, run via `--bin analyze` (`-- --diff a b` to compare runs).
+//! Every binary honours `GMG_TRACE=<path>` to capture a trace of its run.
 //!
 //! Each `run()` prints the same rows/series the paper reports and returns a
 //! JSON value; binaries also persist it under `results/`. Criterion
 //! micro-benchmarks of the *real* CPU kernels live in `benches/`.
 
 pub mod ablations;
+pub mod analyze;
 pub mod chaos;
 pub mod figure3;
 pub mod figure4;

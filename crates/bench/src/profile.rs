@@ -111,7 +111,7 @@ pub fn run_in(dir: &Path, host: &HostRoofline) -> Value {
             tf * 100.0,
             cf * 100.0
         );
-        fraction_rows.push(json!({"op": op, "timer": tf, "trace": cf}));
+        fraction_rows.push(json!({"op": op.as_str(), "timer": *tf, "trace": *cf}));
     }
     println!("  max |diff| {max_diff:.2e}");
 
@@ -137,13 +137,20 @@ pub fn run_in(dir: &Path, host: &HostRoofline) -> Value {
             frac * 100.0
         );
         roofline_rows.push(json!({
-            "op": op,
+            "op": op.as_str(),
             "achieved_gstencil_per_s": achieved,
             "ceiling_gstencil_per_s": ceiling,
             "roofline_fraction": frac,
         }));
     }
 
+    // Kept flat (nested objects via a variable) so the offline stub
+    // `json!` macro can compile this module too.
+    let comm = json!({
+        "messages": summary.comm.messages,
+        "message_bytes": summary.comm.message_bytes,
+        "seconds": summary.comm_seconds
+    });
     json!({
         "nranks": summary.nranks,
         "events": trace.events.len(),
@@ -152,12 +159,8 @@ pub fn run_in(dir: &Path, host: &HostRoofline) -> Value {
         "level0_fractions": fraction_rows,
         "max_fraction_diff": max_diff,
         "roofline": roofline_rows,
-        "comm": {
-            "messages": summary.comm.messages,
-            "message_bytes": summary.comm.message_bytes,
-            "seconds": summary.comm_seconds,
-        },
-        "triad_gbs": host.triad_gbs,
+        "comm": comm,
+        "triad_gbs": host.triad_gbs
     })
 }
 

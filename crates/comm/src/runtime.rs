@@ -232,6 +232,11 @@ impl RankCtx {
         self.pending[idx].next_retry = Instant::now() + backoff;
         if attempt > 0 {
             self.fault_event("fault:retransmit", Some(to), Some(tag));
+            if gmg_metrics::enabled() {
+                gmg_metrics::counter("arq_retransmits_total", self.rank, None, "arq").inc();
+                gmg_metrics::histogram("arq_backoff_ns", self.rank, None, "arq")
+                    .record(backoff.as_nanos() as u64);
+            }
         }
         let fate = self
             .injector
@@ -339,6 +344,10 @@ impl RankCtx {
                     // Discard without ACK: the sender's retry timer will
                     // retransmit a clean copy.
                     self.fault_event("fault:reject", Some(src), Some(tag));
+                    if gmg_metrics::enabled() {
+                        gmg_metrics::counter("arq_checksum_failures_total", self.rank, None, "arq")
+                            .inc();
+                    }
                     return None;
                 }
                 // ACK every valid copy, duplicates included — a duplicate
@@ -364,11 +373,22 @@ impl RankCtx {
                 }
                 if !self.seen.insert((src, seq)) {
                     self.fault_event("fault:dedup", Some(src), Some(tag));
+                    if gmg_metrics::enabled() {
+                        gmg_metrics::counter("arq_dedup_drops_total", self.rank, None, "arq").inc();
+                    }
                     return None;
                 }
                 Some((src, tag, payload))
             }
             Wire::Ack { src, seq } => {
+                // An ACK retires the pending entry; its attempt count is
+                // the message's final transmission tally.
+                if gmg_metrics::enabled() {
+                    for p in self.pending.iter().filter(|p| p.to == src && p.seq == seq) {
+                        gmg_metrics::histogram("arq_attempts", self.rank, None, "arq")
+                            .record(p.attempts as u64);
+                    }
+                }
                 self.pending.retain(|p| !(p.to == src && p.seq == seq));
                 None
             }
@@ -1184,6 +1204,41 @@ mod tests {
             faults.contains(&"fault:reject"),
             "corruption was never detected: {faults:?}"
         );
+    }
+
+    #[test]
+    fn arq_metrics_record_retransmits_under_loss() {
+        // The registry is process-global and other tests may run in
+        // parallel, so assert on the delta across this run and use ≥
+        // comparisons only.
+        let before = gmg_metrics::Registry::global().snapshot();
+        let was_enabled = gmg_metrics::enable();
+        let plan = FaultPlan::new(FaultConfig::lossy(0.2), 11);
+        RankWorld::run_with_faults(2, &plan, |mut ctx| {
+            for round in 0..50u64 {
+                let peer = 1 - ctx.rank();
+                ctx.send(peer, round, vec![round as f64]);
+                assert_eq!(ctx.recv(peer, round), vec![round as f64]);
+            }
+        })
+        .unwrap();
+        if !was_enabled {
+            gmg_metrics::disable();
+        }
+        let delta = gmg_metrics::Registry::global()
+            .snapshot()
+            .delta_since(&before);
+        assert!(
+            delta.counter_total("arq_retransmits_total") >= 1,
+            "20% loss over 100 messages must retransmit"
+        );
+        let backoff = delta.histogram_total("arq_backoff_ns");
+        assert!(backoff.count() >= 1);
+        assert!(backoff.min().unwrap() > 0, "backoff delays are nonzero");
+        // Every ACKed message records its final transmission tally.
+        let attempts = delta.histogram_total("arq_attempts");
+        assert!(attempts.count() >= 1);
+        assert!(attempts.max().unwrap() >= 2, "some message needed a retry");
     }
 
     #[test]

@@ -257,6 +257,10 @@ impl GmgSolver {
                 crate::trace::op_counters(op, points),
             );
         }
+        if gmg_metrics::enabled() {
+            gmg_metrics::histogram("solver_op_ns", self.rank, Some(level), op)
+                .record((secs * 1e9) as u64);
+        }
     }
 
     /// Record one fused multi-smooth group: an OpTimer `fusedSmooth` row
@@ -282,6 +286,10 @@ impl GmgSolver {
                     ..Default::default()
                 },
             );
+        }
+        if gmg_metrics::enabled() {
+            gmg_metrics::histogram("solver_op_ns", self.rank, Some(level), "fusedSmooth")
+                .record((secs * 1e9) as u64);
         }
     }
 
@@ -420,10 +428,14 @@ impl GmgSolver {
         self.smooth_pass(ctx, l, smooths, true);
     }
 
-    /// Emit a health/recovery instant event onto the trace's fault track.
+    /// Emit a health/recovery instant event onto the trace's fault track
+    /// (and bump the matching metrics counter when metrics are on).
     fn health_event(&self, op: &'static str) {
         if gmg_trace::enabled() {
             gmg_trace::record_instant(self.rank, 0, op, gmg_trace::Track::Fault, None, None);
+        }
+        if gmg_metrics::enabled() {
+            gmg_metrics::counter("solver_events_total", self.rank, None, op).inc();
         }
     }
 

@@ -47,6 +47,13 @@ impl LatencyThroughput {
         self.alpha_s * self.beta
     }
 
+    /// Which term of `t = α + x/β` dominates at size `x`: below the
+    /// half-throughput size the fixed α overhead does (latency-bound),
+    /// at or above it the x/β transfer term does (bandwidth-bound).
+    pub fn is_latency_bound(&self, x: f64) -> bool {
+        x < self.half_throughput_size()
+    }
+
     /// Least-squares fit of `t = α + x/β` to `(x, t_seconds)` samples.
     /// Requires at least two samples with distinct `x`. A negative fitted
     /// intercept is clamped to zero (measured rates can exceed the linear
@@ -127,6 +134,14 @@ mod tests {
         let m = LatencyThroughput::new(2e-6, 5e9);
         let xh = m.half_throughput_size();
         assert!((m.rate(xh) / m.beta - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regime_classification_splits_at_n_half() {
+        let m = LatencyThroughput::new(2e-6, 5e9); // x_half = 10 kB
+        assert!(m.is_latency_bound(1e3));
+        assert!(!m.is_latency_bound(1e6));
+        assert!(!m.is_latency_bound(m.half_throughput_size()));
     }
 
     #[test]

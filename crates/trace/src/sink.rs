@@ -484,14 +484,20 @@ impl Trace {
         total
     }
 
+    /// Earliest start and latest end timestamps, in trace nanoseconds
+    /// (None when the trace is empty).
+    pub fn time_bounds(&self) -> Option<(u64, u64)> {
+        let start = self.events.iter().map(|e| e.ts_ns).min()?;
+        let end = self.events.iter().map(|e| e.ts_ns + e.dur_ns).max()?;
+        Some((start, end))
+    }
+
     /// Wall-clock extent of the trace in seconds (latest end − earliest
     /// start), 0.0 when empty.
     pub fn wall_seconds(&self) -> f64 {
-        let start = self.events.iter().map(|e| e.ts_ns).min();
-        let end = self.events.iter().map(|e| e.ts_ns + e.dur_ns).max();
-        match (start, end) {
-            (Some(s), Some(e)) => (e - s) as f64 / 1e9,
-            _ => 0.0,
+        match self.time_bounds() {
+            Some((s, e)) => (e - s) as f64 / 1e9,
+            None => 0.0,
         }
     }
 }
@@ -696,5 +702,26 @@ mod tests {
         assert!(trace.wall_seconds() > 0.0);
         assert_eq!(trace.counters_where(|e| e.level == 0).flops, 7);
         assert_eq!(trace.counters_where(|e| e.level == 1).flops, 0);
+    }
+
+    #[test]
+    fn time_bounds_span_earliest_to_latest() {
+        assert_eq!(Trace::default().time_bounds(), None);
+        let mk = |ts_ns, dur_ns| TraceEvent {
+            rank: 0,
+            level: 0,
+            op: intern("a"),
+            track: Track::Compute,
+            ts_ns,
+            dur_ns,
+            counters: Counters::default(),
+            peer: None,
+            tag: None,
+        };
+        let trace = Trace {
+            events: vec![mk(100, 50), mk(200, 300)],
+        };
+        assert_eq!(trace.time_bounds(), Some((100, 500)));
+        assert!((trace.wall_seconds() - 400e-9).abs() < 1e-15);
     }
 }
