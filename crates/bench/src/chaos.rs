@@ -27,12 +27,12 @@ use std::time::{Duration, Instant};
 
 const N: i64 = 16;
 
-fn chaos_decomp() -> Decomposition {
+pub(crate) fn chaos_decomp() -> Decomposition {
     // The acceptance geometry: a 2×2×2 rank grid.
     Decomposition::new(Box3::cube(N), Point3::splat(2))
 }
 
-fn chaos_solver_config() -> SolverConfig {
+pub(crate) fn chaos_solver_config() -> SolverConfig {
     let mut cfg = SolverConfig::test_default();
     cfg.num_levels = 2;
     cfg.max_vcycles = 12;
@@ -42,7 +42,10 @@ fn chaos_solver_config() -> SolverConfig {
 
 /// Distributed solve under a fault plan; per-rank stats or the structured
 /// world failure.
-fn faulted_solve(plan: &FaultPlan, cfg: SolverConfig) -> Result<Vec<SolveStats>, WorldFailure> {
+pub(crate) fn faulted_solve(
+    plan: &FaultPlan,
+    cfg: SolverConfig,
+) -> Result<Vec<SolveStats>, WorldFailure> {
     let decomp = chaos_decomp();
     let nranks = decomp.num_ranks();
     let d = &decomp;
@@ -53,7 +56,7 @@ fn faulted_solve(plan: &FaultPlan, cfg: SolverConfig) -> Result<Vec<SolveStats>,
 }
 
 /// Fault-free reference run (same geometry and config).
-fn baseline_solve(cfg: SolverConfig) -> Vec<SolveStats> {
+pub(crate) fn baseline_solve(cfg: SolverConfig) -> Vec<SolveStats> {
     let decomp = chaos_decomp();
     let nranks = decomp.num_ranks();
     let d = &decomp;
@@ -150,7 +153,7 @@ fn recovery_run(seed: u64) -> Value {
 /// The graceful-failure demonstration: kill one rank mid-exchange and show
 /// the world reports a structured [`WorldFailure`] instead of hanging or
 /// propagating a bare panic.
-fn kill_run(seed: u64) -> Value {
+pub(crate) fn kill_run(seed: u64) -> Value {
     let victim = (seed % 8) as usize;
     let at_op = 40 + seed % 29; // lands inside the first cycle's exchanges
     let mut plan = FaultPlan::new(FaultConfig::kill_rank(victim, at_op), seed);

@@ -29,7 +29,12 @@
 //! (`-- --check` in CI) — and [`analyze`] — the trace-analysis report
 //! (per-V-cycle critical path, load imbalance, roofline attribution,
 //! outliers, run-vs-run diffing) over a traced solve or any `GMG_TRACE`
-//! capture, run via `--bin analyze` (`-- --diff a b` to compare runs).
+//! capture, run via `--bin analyze` (`-- --diff a b` to compare runs) —
+//! and [`postmortem`] — the flight-recorder crash forensics pipeline
+//! (seeded killed-rank solve → automatic dump → culprit naming,
+//! wait-state attribution, edge-exact critical path, Perfetto timeline
+//! with cross-rank flow arrows), run via `--bin postmortem -- --seed N`
+//! or `-- --dump DIR`.
 //! Every binary honours `GMG_TRACE=<path>` to capture a trace of its run.
 //!
 //! Each `run()` prints the same rows/series the paper reports and returns a
@@ -49,6 +54,7 @@ pub mod figure9;
 pub mod gate;
 pub mod measured;
 pub mod plot;
+pub mod postmortem;
 pub mod profile;
 pub mod report;
 pub mod table2;

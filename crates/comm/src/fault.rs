@@ -108,6 +108,9 @@ pub struct WorldFailure {
     pub nranks: usize,
     /// All failed ranks, in rank order.
     pub failures: Vec<RankFailure>,
+    /// Flight-recorder black-box dump written at failure time (`None`
+    /// when the recorder is disabled or the dump could not be written).
+    pub flight_dump: Option<std::path::PathBuf>,
 }
 
 impl WorldFailure {
@@ -127,6 +130,9 @@ impl fmt::Display for WorldFailure {
         )?;
         for r in &self.failures {
             write!(f, "\n  rank {}: {}", r.rank, r.message)?;
+        }
+        if let Some(d) = &self.flight_dump {
+            write!(f, "\n  flight recorder dump: {}", d.display())?;
         }
         Ok(())
     }
@@ -711,12 +717,14 @@ mod tests {
                     message: "timed out".into(),
                 },
             ],
+            flight_dump: Some(std::path::PathBuf::from("results/flightdump_42")),
         };
         assert_eq!(wf.ranks(), vec![2, 5]);
         let text = wf.to_string();
         assert!(text.contains("2 of 8 ranks failed"));
         assert!(text.contains("rank 2: killed"));
         assert!(text.contains("rank 5: timed out"));
+        assert!(text.contains("flight recorder dump: results/flightdump_42"));
     }
 
     #[test]

@@ -95,9 +95,11 @@ pub struct RankCtx {
     nranks: usize,
     peers: Vec<Sender<Wire>>,
     inbox: Receiver<Wire>,
-    /// Messages received but not yet matched.
-    stash: Vec<(usize, u64, Vec<f64>)>,
-    /// Next outgoing sequence number (reliable mode).
+    /// Messages received but not yet matched: `(src, tag, seq, payload)`.
+    stash: Vec<(usize, u64, u64, Vec<f64>)>,
+    /// Next outgoing sequence number (assigned in both modes so the
+    /// flight recorder can join send/recv pairs across ranks; only the
+    /// reliable protocol *acts* on it).
     next_seq: u64,
     /// `(src, seq)` pairs already delivered (reliable-mode dedup).
     seen: HashSet<(usize, u64)>,
@@ -158,6 +160,7 @@ impl RankCtx {
             ControlFault::None => Ok(()),
             ControlFault::Stall(d) => {
                 self.fault_event("fault:stall", None, None);
+                gmg_flight::record_control("fault:stall", d.as_nanos() as u64);
                 std::thread::sleep(d);
                 Ok(())
             }
@@ -165,6 +168,7 @@ impl RankCtx {
                 let at_op = inj.control_ops();
                 self.dead = true;
                 self.fault_event("fault:kill", None, None);
+                gmg_flight::record_control("fault:kill", 0);
                 Err(CommError::Killed {
                     rank: self.rank,
                     at_op,
@@ -186,19 +190,20 @@ impl RankCtx {
             message_bytes: (payload.len() * 8) as u64,
             ..Default::default()
         });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        gmg_flight::record_send(to, tag, seq, (payload.len() * 8) as u64);
         if !self.reliable() {
             return self.peers[to]
                 .send(Wire::Data {
                     src: self.rank,
                     tag,
-                    seq: 0,
+                    seq,
                     checksum: 0,
                     payload,
                 })
                 .map_err(|_| CommError::Disconnected { peer: to });
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
         self.pending.push(PendingSend {
             to,
             tag,
@@ -232,6 +237,13 @@ impl RankCtx {
         self.pending[idx].next_retry = Instant::now() + backoff;
         if attempt > 0 {
             self.fault_event("fault:retransmit", Some(to), Some(tag));
+            gmg_flight::record_arq(
+                "arq:retransmit",
+                Some(to),
+                Some(tag),
+                Some(seq),
+                backoff.as_nanos() as u64,
+            );
             if gmg_metrics::enabled() {
                 gmg_metrics::counter("arq_retransmits_total", self.rank, None, "arq").inc();
                 gmg_metrics::histogram("arq_backoff_ns", self.rank, None, "arq")
@@ -245,6 +257,7 @@ impl RankCtx {
             .fate(seq, attempt);
         if fate.drop {
             self.fault_event("fault:drop", Some(to), Some(tag));
+            gmg_flight::record_arq("arq:drop", Some(to), Some(tag), Some(seq), 0);
             return;
         }
         let mut payload = self.pending[idx].payload.clone();
@@ -325,10 +338,10 @@ impl RankCtx {
         Ok(())
     }
 
-    /// Process one incoming wire. Returns a deliverable `(src, tag,
+    /// Process one incoming wire. Returns a deliverable `(src, tag, seq,
     /// payload)` or `None` (ACKs, rejected corruption, deduplicated
     /// copies).
-    fn handle_wire(&mut self, w: Wire) -> Option<(usize, u64, Vec<f64>)> {
+    fn handle_wire(&mut self, w: Wire) -> Option<(usize, u64, u64, Vec<f64>)> {
         match w {
             Wire::Data {
                 src,
@@ -338,12 +351,14 @@ impl RankCtx {
                 payload,
             } => {
                 if !self.reliable() {
-                    return Some((src, tag, payload));
+                    gmg_flight::record_msg_arrive(src, tag, seq, (payload.len() * 8) as u64);
+                    return Some((src, tag, seq, payload));
                 }
                 if checksum(src, tag, seq, &payload) != cs {
                     // Discard without ACK: the sender's retry timer will
                     // retransmit a clean copy.
                     self.fault_event("fault:reject", Some(src), Some(tag));
+                    gmg_flight::record_arq("arq:reject", Some(src), Some(tag), Some(seq), 0);
                     if gmg_metrics::enabled() {
                         gmg_metrics::counter("arq_checksum_failures_total", self.rank, None, "arq")
                             .inc();
@@ -373,12 +388,14 @@ impl RankCtx {
                 }
                 if !self.seen.insert((src, seq)) {
                     self.fault_event("fault:dedup", Some(src), Some(tag));
+                    gmg_flight::record_arq("arq:dedup", Some(src), Some(tag), Some(seq), 0);
                     if gmg_metrics::enabled() {
                         gmg_metrics::counter("arq_dedup_drops_total", self.rank, None, "arq").inc();
                     }
                     return None;
                 }
-                Some((src, tag, payload))
+                gmg_flight::record_msg_arrive(src, tag, seq, (payload.len() * 8) as u64);
+                Some((src, tag, seq, payload))
             }
             Wire::Ack { src, seq } => {
                 // An ACK retires the pending entry; its attempt count is
@@ -428,9 +445,9 @@ impl RankCtx {
         if let Some(pos) = self
             .stash
             .iter()
-            .position(|(f, t, _)| *f == from && *t == tag)
+            .position(|(f, t, _, _)| *f == from && *t == tag)
         {
-            return Ok(Some(self.stash.swap_remove(pos).2));
+            return Ok(Some(self.stash.swap_remove(pos).3));
         }
         Ok(None)
     }
@@ -441,14 +458,37 @@ impl RankCtx {
         tag: u64,
         deadline: Option<Instant>,
     ) -> Result<Vec<f64>, CommError> {
+        let start_ns = gmg_trace::now_ns();
         let mut sp = self.comm_span("recv", from, tag);
-        let payload = self.recv_deadline(from, tag, deadline)?;
-        sp.counters(Counters {
-            messages: 1,
-            message_bytes: (payload.len() * 8) as u64,
-            ..Default::default()
-        });
-        Ok(payload)
+        match self.recv_deadline(from, tag, deadline) {
+            Ok((seq, payload)) => {
+                sp.counters(Counters {
+                    messages: 1,
+                    message_bytes: (payload.len() * 8) as u64,
+                    ..Default::default()
+                });
+                gmg_flight::record_recv_wait(
+                    from,
+                    tag,
+                    Some(seq),
+                    start_ns,
+                    gmg_trace::now_ns().saturating_sub(start_ns),
+                );
+                Ok(payload)
+            }
+            Err(e) => {
+                // A failed wait is exactly what the postmortem needs to
+                // see: record it with no matched message.
+                gmg_flight::record_recv_wait(
+                    from,
+                    tag,
+                    None,
+                    start_ns,
+                    gmg_trace::now_ns().saturating_sub(start_ns),
+                );
+                Err(e)
+            }
+        }
     }
 
     fn recv_deadline(
@@ -456,14 +496,15 @@ impl RankCtx {
         from: usize,
         tag: u64,
         deadline: Option<Instant>,
-    ) -> Result<Vec<f64>, CommError> {
+    ) -> Result<(u64, Vec<f64>), CommError> {
         self.check_control()?;
         if let Some(pos) = self
             .stash
             .iter()
-            .position(|(f, t, _)| *f == from && *t == tag)
+            .position(|(f, t, _, _)| *f == from && *t == tag)
         {
-            return Ok(self.stash.swap_remove(pos).2);
+            let (_, _, seq, payload) = self.stash.swap_remove(pos);
+            return Ok((seq, payload));
         }
         // Under fault injection a blocking receive must not block forever:
         // the matching send may be gone for good (killed peer, exhausted
@@ -497,11 +538,11 @@ impl RankCtx {
                 }
             };
             if let Some(w) = got {
-                if let Some((src, t, payload)) = self.handle_wire(w) {
+                if let Some((src, t, seq, payload)) = self.handle_wire(w) {
                     if src == from && t == tag {
-                        return Ok(payload);
+                        return Ok((seq, payload));
                     }
-                    self.stash.push((src, t, payload));
+                    self.stash.push((src, t, seq, payload));
                 }
             } else if let Some(d) = deadline {
                 if Instant::now() >= d {
@@ -650,11 +691,16 @@ impl RankWorld {
         let senders_ref = &senders;
         let trace_scope = gmg_trace::current_scope();
         let trace_scope_ref = &trace_scope;
+        // One flight-recorder ring per rank, alive for the whole run so a
+        // failure can dump every surviving rank's black box.
+        let flight = gmg_flight::enabled().then(|| gmg_flight::FlightWorld::new(nranks));
+        let flight_ref = &flight;
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(nranks);
             for (rank, inbox) in receivers.into_iter().enumerate() {
                 handles.push(s.spawn(move || {
                     let _trace = trace_scope_ref.as_ref().map(|sc| sc.install());
+                    let _flight = flight_ref.as_ref().map(|w| gmg_flight::install(w, rank));
                     let ctx = RankCtx {
                         rank,
                         nranks,
@@ -693,10 +739,28 @@ impl RankWorld {
                     }),
                 }
             }
+            if let Some(w) = &flight {
+                gmg_flight::export_metrics(w);
+            }
             if failures.is_empty() {
                 Ok(oks)
             } else {
-                Err(WorldFailure { nranks, failures })
+                // Black-box the whole world before the rings die with
+                // this scope: every surviving rank's history, not just
+                // the failed ones'.
+                let detail = failures
+                    .iter()
+                    .map(|f| format!("rank {}: {}", f.rank, f.message))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                let flight_dump = flight
+                    .as_ref()
+                    .and_then(|w| gmg_flight::dump_world(w, "world-failure", &detail));
+                Err(WorldFailure {
+                    nranks,
+                    failures,
+                    flight_dump,
+                })
             }
         })
     }

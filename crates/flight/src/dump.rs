@@ -1,0 +1,335 @@
+//! Black-box dumps: persist every rank's ring to disk on failure.
+//!
+//! A dump is a directory `flightdump_<unix-ns>/` containing a
+//! `manifest.json` (reason, detail, rank list) and one `rank<k>.json`
+//! per rank with its counters and the validated, seq-ordered events.
+//! Encoding rides on [`gmg_trace::json`] — no new dependencies, and the
+//! files load back losslessly for offline postmortem analysis.
+//!
+//! Dumping is crash-path code: it must never panic and never wedge a
+//! dying process, so every IO error degrades to "no dump" and a global
+//! cap (`GMG_FLIGHT_MAX_DUMPS`, default 32) stops a flaky loop from
+//! filling the disk.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gmg_trace::json::Json;
+
+use crate::recorder::FlightWorld;
+use crate::ring::{EventKind, FlightEvent, NO_LEVEL, NO_MSG_SEQ, NO_PEER, NO_TAG};
+use crate::waitstate::RankLog;
+
+/// Where dumps land: `GMG_FLIGHT_DIR`, else `GMG_RESULTS_DIR`, else
+/// `results/` relative to the working directory.
+pub fn base_dir() -> PathBuf {
+    std::env::var_os("GMG_FLIGHT_DIR")
+        .or_else(|| std::env::var_os("GMG_RESULTS_DIR"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+static DUMPS: AtomicU64 = AtomicU64::new(0);
+
+fn max_dumps() -> u64 {
+    std::env::var("GMG_FLIGHT_MAX_DUMPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Total dumps written by this process so far.
+pub fn dumps_written() -> u64 {
+    DUMPS.load(Ordering::Relaxed)
+}
+
+// JSON cannot carry u64::MAX (or anything past 2^53) through an f64, so
+// sentinels become null and other large values decimal strings.
+fn enc_u64(v: u64, sentinel: u64) -> Json {
+    if v == sentinel {
+        Json::Null
+    } else if v >= (1u64 << 53) {
+        Json::Str(v.to_string())
+    } else {
+        Json::Num(v as f64)
+    }
+}
+
+fn dec_u64(j: Option<&Json>, sentinel: u64) -> u64 {
+    match j {
+        None | Some(Json::Null) => sentinel,
+        Some(Json::Str(s)) => s.parse().unwrap_or(sentinel),
+        Some(j) => j.as_u64().unwrap_or(sentinel),
+    }
+}
+
+fn encode_event(ev: &FlightEvent) -> Json {
+    Json::Obj(vec![
+        ("seq".to_string(), enc_u64(ev.seq, u64::MAX)),
+        ("ts_ns".to_string(), enc_u64(ev.ts_ns, u64::MAX)),
+        ("dur_ns".to_string(), enc_u64(ev.dur_ns, u64::MAX)),
+        ("kind".to_string(), Json::Str(ev.kind.name().to_string())),
+        ("op".to_string(), Json::Str(ev.op.to_string())),
+        (
+            "level".to_string(),
+            enc_u64(ev.level as u64, NO_LEVEL as u64),
+        ),
+        ("peer".to_string(), enc_u64(ev.peer as u64, NO_PEER as u64)),
+        ("tag".to_string(), enc_u64(ev.tag, NO_TAG)),
+        ("msg_seq".to_string(), enc_u64(ev.msg_seq, NO_MSG_SEQ)),
+        ("bytes".to_string(), enc_u64(ev.bytes, u64::MAX)),
+    ])
+}
+
+/// `FlightEvent.op` is `&'static str` so the hot path never allocates;
+/// loading a dump re-creates names at runtime, so each unique name is
+/// leaked once and reused thereafter (bounded by the op vocabulary).
+fn intern(name: &str) -> &'static str {
+    static NAMES: Mutex<Option<HashSet<&'static str>>> = Mutex::new(None);
+    let mut guard = NAMES.lock().unwrap_or_else(|p| p.into_inner());
+    let set = guard.get_or_insert_with(HashSet::new);
+    if let Some(&s) = set.get(name) {
+        return s;
+    }
+    let s: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.insert(s);
+    s
+}
+
+fn decode_event(j: &Json) -> FlightEvent {
+    let kind = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .and_then(EventKind::from_name)
+        .unwrap_or(EventKind::Control);
+    FlightEvent {
+        seq: dec_u64(j.get("seq"), 0),
+        ts_ns: dec_u64(j.get("ts_ns"), 0),
+        dur_ns: dec_u64(j.get("dur_ns"), 0),
+        kind,
+        op: intern(j.get("op").and_then(Json::as_str).unwrap_or("?")),
+        level: dec_u64(j.get("level"), NO_LEVEL as u64) as u32,
+        peer: dec_u64(j.get("peer"), NO_PEER as u64) as u32,
+        tag: dec_u64(j.get("tag"), NO_TAG),
+        msg_seq: dec_u64(j.get("msg_seq"), NO_MSG_SEQ),
+        bytes: dec_u64(j.get("bytes"), u64::MAX),
+    }
+}
+
+/// A loaded dump, ready for [`crate::waitstate::analyze`].
+#[derive(Clone, Debug)]
+pub struct DumpBundle {
+    pub reason: String,
+    pub detail: String,
+    pub nranks: usize,
+    pub logs: Vec<RankLog>,
+}
+
+/// Write a dump of `world` into `dir` (created if needed).
+pub fn dump_world_to(
+    dir: &Path,
+    world: &FlightWorld,
+    reason: &str,
+    detail: &str,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let logs = world.snapshot();
+    let ranks = Json::Arr(logs.iter().map(|l| Json::Num(l.rank as f64)).collect());
+    let manifest = Json::Obj(vec![
+        ("reason".to_string(), Json::Str(reason.to_string())),
+        ("detail".to_string(), Json::Str(detail.to_string())),
+        ("nranks".to_string(), Json::Num(world.nranks() as f64)),
+        ("ranks".to_string(), ranks),
+    ]);
+    fs::write(dir.join("manifest.json"), manifest.to_string())?;
+    for log in &logs {
+        let body = Json::Obj(vec![
+            ("rank".to_string(), Json::Num(log.rank as f64)),
+            ("capacity".to_string(), Json::Num(log.capacity as f64)),
+            ("written".to_string(), enc_u64(log.written, u64::MAX)),
+            ("lost".to_string(), enc_u64(log.lost, u64::MAX)),
+            (
+                "events".to_string(),
+                Json::Arr(log.events.iter().map(encode_event).collect()),
+            ),
+        ]);
+        fs::write(dir.join(format!("rank{}.json", log.rank)), body.to_string())?;
+    }
+    Ok(())
+}
+
+/// Best-effort black-box dump under [`base_dir`]. Returns the dump
+/// directory, or `None` if disabled by the cap or any IO failed — crash
+/// paths must not die twice.
+pub fn dump_world(world: &FlightWorld, reason: &str, detail: &str) -> Option<PathBuf> {
+    if DUMPS.fetch_add(1, Ordering::Relaxed) >= max_dumps() {
+        return None;
+    }
+    let ns = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let base = base_dir();
+    // Two failures in the same nanosecond (or a frozen clock) collide;
+    // probe a handful of suffixed names rather than overwrite.
+    for k in 0..16u32 {
+        let name = if k == 0 {
+            format!("flightdump_{ns}")
+        } else {
+            format!("flightdump_{ns}_{k}")
+        };
+        let dir = base.join(name);
+        if dir.exists() {
+            continue;
+        }
+        return match dump_world_to(&dir, world, reason, detail) {
+            Ok(()) => {
+                if gmg_metrics::enabled() {
+                    gmg_metrics::counter("flight_dumps_total", 0, None, "flight").inc();
+                }
+                Some(dir)
+            }
+            Err(_) => None,
+        };
+    }
+    None
+}
+
+/// Dump the world installed on *this* thread (solver-side failure hook).
+pub fn dump_installed(reason: &str, detail: &str) -> Option<PathBuf> {
+    crate::recorder::installed().and_then(|(world, _rank)| dump_world(&world, reason, detail))
+}
+
+/// Load a dump directory written by [`dump_world_to`].
+pub fn load_dump(dir: &Path) -> io::Result<DumpBundle> {
+    let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+    let manifest = Json::parse(&fs::read_to_string(dir.join("manifest.json"))?)
+        .map_err(|e| bad(format!("manifest.json: {e}")))?;
+    let reason = manifest
+        .get("reason")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let detail = manifest
+        .get("detail")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    let nranks = manifest
+        .get("nranks")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("manifest.json: missing nranks".into()))? as usize;
+    let mut logs = Vec::new();
+    let ranks: Vec<usize> = match manifest.get("ranks") {
+        Some(Json::Arr(a)) => a
+            .iter()
+            .filter_map(Json::as_u64)
+            .map(|r| r as usize)
+            .collect(),
+        _ => (0..nranks).collect(),
+    };
+    for rank in ranks {
+        let body = Json::parse(&fs::read_to_string(dir.join(format!("rank{rank}.json")))?)
+            .map_err(|e| bad(format!("rank{rank}.json: {e}")))?;
+        let events = match body.get("events") {
+            Some(Json::Arr(a)) => a.iter().map(decode_event).collect(),
+            _ => Vec::new(),
+        };
+        logs.push(RankLog {
+            rank,
+            capacity: dec_u64(body.get("capacity"), 0),
+            written: dec_u64(body.get("written"), 0),
+            lost: dec_u64(body.get("lost"), 0),
+            events,
+        });
+    }
+    logs.sort_by_key(|l| l.rank);
+    Ok(DumpBundle {
+        reason,
+        detail,
+        nranks,
+        logs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gmg_flight_dump_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn dump_round_trips_events_and_sentinels() {
+        let world = FlightWorld::with_capacity(2, 64);
+        world.ring(0).record(FlightEvent {
+            ts_ns: 100,
+            dur_ns: 50,
+            kind: EventKind::Send,
+            op: "send",
+            level: 3,
+            peer: 1,
+            tag: 7,
+            msg_seq: 42,
+            bytes: 4096,
+            ..FlightEvent::empty()
+        });
+        // Sentinel-heavy event plus a value beyond 2^53.
+        world.ring(1).record(FlightEvent {
+            ts_ns: 200,
+            dur_ns: 0,
+            kind: EventKind::Control,
+            op: "fault:kill",
+            tag: (1u64 << 60) + 5,
+            ..FlightEvent::empty()
+        });
+        let dir = scratch_dir("roundtrip");
+        dump_world_to(&dir, &world, "test", "synthetic").unwrap();
+        let bundle = load_dump(&dir).unwrap();
+        assert_eq!(bundle.reason, "test");
+        assert_eq!(bundle.nranks, 2);
+        assert_eq!(bundle.logs.len(), 2);
+        let e0 = &bundle.logs[0].events[0];
+        assert_eq!(e0.kind, EventKind::Send);
+        assert_eq!(e0.op, "send");
+        assert_eq!(
+            (e0.ts_ns, e0.dur_ns, e0.level, e0.peer, e0.tag, e0.msg_seq, e0.bytes),
+            (100, 50, 3, 1, 7, 42, 4096)
+        );
+        let e1 = &bundle.logs[1].events[0];
+        assert_eq!(e1.op, "fault:kill");
+        assert_eq!(e1.tag, (1u64 << 60) + 5, "big u64 must survive via string");
+        assert_eq!(e1.level, NO_LEVEL);
+        assert_eq!(e1.peer, NO_PEER);
+        assert_eq!(e1.msg_seq, NO_MSG_SEQ);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_installed_uses_the_thread_local_world() {
+        let world = FlightWorld::with_capacity(1, 64);
+        let _g = recorder::install(&world, 0);
+        recorder::record_control("health:diverged", 0);
+        let dir = scratch_dir("installed");
+        std::env::set_var("GMG_FLIGHT_DIR", &dir);
+        let out = dump_installed("health-divergence", "residual blew up");
+        std::env::remove_var("GMG_FLIGHT_DIR");
+        let out = out.expect("dump under cap should succeed");
+        let bundle = load_dump(&out).unwrap();
+        assert_eq!(bundle.reason, "health-divergence");
+        assert!(bundle.logs[0]
+            .events
+            .iter()
+            .any(|e| e.op == "health:diverged"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,44 @@
+//! gmg-flight: an always-on flight recorder for the distributed solver.
+//!
+//! Large-scale multigrid failures are rarely reproducible: a rank dies,
+//! a message is lost, a residual diverges — and the evidence evaporates
+//! with the process. This crate keeps a fixed-capacity, lock-free ring
+//! buffer of POD events per rank (the aviation black-box model): cheap
+//! enough to leave on in production runs, bounded in memory, and
+//! overwriting the oldest events on wrap so the *most recent* history is
+//! always present.
+//!
+//! Three layers:
+//!
+//! * [`ring`] — the per-rank seqlock ring. Writers never block, never
+//!   allocate, and never tear; readers get validated whole events.
+//! * [`recorder`] — the process-wide switch, per-thread installation
+//!   (`install`), level scoping, and the typed `record_*` helpers the
+//!   comm runtime and solver call.
+//! * [`waitstate`] + [`dump`] — offline analysis: join send/recv pairs
+//!   into causal cross-rank message edges, classify every comm wait
+//!   (late-sender / late-receiver / ARQ-stall / starvation), and persist
+//!   or reload black-box dumps for crash postmortems.
+//!
+//! Environment knobs: `GMG_FLIGHT=0` disables recording entirely,
+//! `GMG_FLIGHT_CAPACITY` sizes the rings (default 65536 events),
+//! `GMG_FLIGHT_DIR` / `GMG_RESULTS_DIR` place dumps, and
+//! `GMG_FLIGHT_MAX_DUMPS` caps dumps per process (default 32).
+
+pub mod dump;
+pub mod recorder;
+pub mod ring;
+pub mod waitstate;
+
+pub use dump::{dump_installed, dump_world, dump_world_to, load_dump, DumpBundle};
+pub use recorder::{
+    current_level, enabled, export_metrics, install, installed, level_scope, record_arq,
+    record_compute, record_control, record_msg_arrive, record_recv_wait, record_send, set_enabled,
+    FlightGuard, FlightWorld, LevelGuard,
+};
+pub use ring::{
+    default_capacity, EventKind, FlightEvent, FlightRing, NO_LEVEL, NO_MSG_SEQ, NO_PEER, NO_TAG,
+};
+pub use waitstate::{
+    analyze, MessageEdge, RankLog, WaitAnalysis, WaitClass, WaitSample, WaitStats,
+};

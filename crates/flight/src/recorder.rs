@@ -1,0 +1,411 @@
+//! World plumbing: per-rank rings, thread-local installation (mirroring
+//! `gmg_trace`'s scope propagation), the level context comm events are
+//! attributed to, the global enable switch, and `gmg_metrics` export.
+//!
+//! `RankWorld` creates a [`FlightWorld`] per run and installs
+//! `(world, rank)` into each rank thread; everything downstream — the
+//! solver's compute events, the runtime's send/recv/ARQ events — records
+//! through the free functions here, which resolve the current ring from
+//! thread-local storage. No world installed (or recording disabled) makes
+//! every record call a cheap no-op.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crate::ring::{
+    default_capacity, EventKind, FlightEvent, FlightRing, NO_LEVEL, NO_MSG_SEQ, NO_PEER, NO_TAG,
+};
+use crate::waitstate::RankLog;
+
+/// One ring per rank, shared by the rank threads and whoever dumps them.
+pub struct FlightWorld {
+    rings: Vec<Arc<FlightRing>>,
+}
+
+impl FlightWorld {
+    /// A world of `nranks` rings at the default (env-tunable) capacity.
+    pub fn new(nranks: usize) -> Arc<Self> {
+        Self::with_capacity(nranks, default_capacity())
+    }
+
+    pub fn with_capacity(nranks: usize, capacity: usize) -> Arc<Self> {
+        Arc::new(FlightWorld {
+            rings: (0..nranks)
+                .map(|r| Arc::new(FlightRing::new(r, capacity)))
+                .collect(),
+        })
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.rings.len()
+    }
+
+    pub fn ring(&self, rank: usize) -> &Arc<FlightRing> {
+        &self.rings[rank]
+    }
+
+    pub fn rings(&self) -> &[Arc<FlightRing>] {
+        &self.rings
+    }
+
+    /// Snapshot every ring into per-rank logs (safe while writers run).
+    pub fn snapshot(&self) -> Vec<RankLog> {
+        self.rings
+            .iter()
+            .map(|r| RankLog {
+                rank: r.rank(),
+                capacity: r.capacity() as u64,
+                written: r.written(),
+                lost: r.lost(),
+                events: r.snapshot(),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global enable switch
+// ---------------------------------------------------------------------------
+
+/// 0 = unresolved, 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether flight recording is on. Defaults to **on** (that is the point
+/// of a flight recorder); `GMG_FLIGHT=0|off|false` disables it.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = !matches!(
+                std::env::var("GMG_FLIGHT").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            );
+            ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Force the switch; returns the previous state.
+pub fn set_enabled(on: bool) -> bool {
+    let prev = enabled();
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    prev
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local installation
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static INSTALLED: RefCell<Option<(Arc<FlightWorld>, usize)>> = const { RefCell::new(None) };
+    static LEVEL: Cell<u32> = const { Cell::new(NO_LEVEL) };
+}
+
+/// Restores the previously installed world on drop.
+pub struct FlightGuard {
+    prev: Option<(Arc<FlightWorld>, usize)>,
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Install `world`/`rank` as this thread's recording target.
+pub fn install(world: &Arc<FlightWorld>, rank: usize) -> FlightGuard {
+    FlightGuard {
+        prev: INSTALLED.with(|c| c.replace(Some((world.clone(), rank)))),
+    }
+}
+
+/// The world and rank installed in this thread, if any.
+pub fn installed() -> Option<(Arc<FlightWorld>, usize)> {
+    INSTALLED.with(|c| c.borrow().clone())
+}
+
+/// Restores the previous level on drop.
+pub struct LevelGuard {
+    prev: u32,
+}
+
+impl Drop for LevelGuard {
+    fn drop(&mut self) {
+        LEVEL.with(|c| c.set(self.prev));
+    }
+}
+
+/// Attribute subsequent comm events on this thread to `level` — the
+/// solver wraps each exchange so the runtime's waits land in the
+/// per-level wait-state table.
+pub fn level_scope(level: usize) -> LevelGuard {
+    let l = if level >= NO_LEVEL as usize {
+        NO_LEVEL
+    } else {
+        level as u32
+    };
+    LevelGuard {
+        prev: LEVEL.with(|c| c.replace(l)),
+    }
+}
+
+/// The level comm events are currently attributed to ([`NO_LEVEL`] when
+/// outside any level scope).
+pub fn current_level() -> u32 {
+    LEVEL.with(|c| c.get())
+}
+
+// ---------------------------------------------------------------------------
+// Recording helpers (the hot path)
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn with_ring(f: impl FnOnce(&FlightRing, u32)) {
+    if !enabled() {
+        return;
+    }
+    INSTALLED.with(|c| {
+        if let Some((w, r)) = &*c.borrow() {
+            f(&w.rings[*r], LEVEL.with(|l| l.get()));
+        }
+    });
+}
+
+fn peer_u32(peer: usize) -> u32 {
+    if peer >= NO_PEER as usize {
+        NO_PEER
+    } else {
+        peer as u32
+    }
+}
+
+/// A solver kernel on `level` (explicit, not from the level scope).
+pub fn record_compute(level: usize, op: &'static str, ts_ns: u64, dur_ns: u64, points: u64) {
+    with_ring(|ring, _| {
+        ring.record(FlightEvent {
+            ts_ns,
+            dur_ns,
+            kind: EventKind::Compute,
+            op,
+            level: if level >= NO_LEVEL as usize {
+                NO_LEVEL
+            } else {
+                level as u32
+            },
+            bytes: points,
+            ..FlightEvent::empty()
+        })
+    });
+}
+
+/// A message posted to `peer` under wire sequence `msg_seq`.
+pub fn record_send(peer: usize, tag: u64, msg_seq: u64, bytes: u64) {
+    with_ring(|ring, level| {
+        ring.record(FlightEvent {
+            ts_ns: gmg_trace::now_ns(),
+            kind: EventKind::Send,
+            op: "send",
+            level,
+            peer: peer_u32(peer),
+            tag,
+            msg_seq,
+            bytes,
+            ..FlightEvent::empty()
+        })
+    });
+}
+
+/// A message from `peer` delivered into this rank.
+pub fn record_msg_arrive(peer: usize, tag: u64, msg_seq: u64, bytes: u64) {
+    with_ring(|ring, level| {
+        ring.record(FlightEvent {
+            ts_ns: gmg_trace::now_ns(),
+            kind: EventKind::MsgArrive,
+            op: "arrive",
+            level,
+            peer: peer_u32(peer),
+            tag,
+            msg_seq,
+            bytes,
+            ..FlightEvent::empty()
+        })
+    });
+}
+
+/// A blocking receive wait on `(peer, tag)`. `msg_seq` is the delivered
+/// message, `None` when the wait failed (timeout, killed peer).
+pub fn record_recv_wait(peer: usize, tag: u64, msg_seq: Option<u64>, ts_ns: u64, dur_ns: u64) {
+    with_ring(|ring, level| {
+        ring.record(FlightEvent {
+            ts_ns,
+            dur_ns,
+            kind: EventKind::RecvWait,
+            op: if msg_seq.is_some() {
+                "recv"
+            } else {
+                "recv:timeout"
+            },
+            level,
+            peer: peer_u32(peer),
+            tag,
+            msg_seq: msg_seq.unwrap_or(NO_MSG_SEQ),
+            ..FlightEvent::empty()
+        })
+    });
+}
+
+/// ARQ activity (`"arq:retransmit"`, `"arq:drop"`, `"arq:reject"`, …)
+/// for message `msg_seq`. `dur_ns` carries the backoff where relevant.
+pub fn record_arq(
+    op: &'static str,
+    peer: Option<usize>,
+    tag: Option<u64>,
+    msg_seq: Option<u64>,
+    dur_ns: u64,
+) {
+    with_ring(|ring, level| {
+        ring.record(FlightEvent {
+            ts_ns: gmg_trace::now_ns(),
+            dur_ns,
+            kind: EventKind::Arq,
+            op,
+            level,
+            peer: peer.map(peer_u32).unwrap_or(NO_PEER),
+            tag: tag.unwrap_or(NO_TAG),
+            msg_seq: msg_seq.unwrap_or(NO_MSG_SEQ),
+            ..FlightEvent::empty()
+        })
+    });
+}
+
+/// A control-plane event: injected stall/kill, health verdict, recovery.
+pub fn record_control(op: &'static str, dur_ns: u64) {
+    with_ring(|ring, level| {
+        ring.record(FlightEvent {
+            ts_ns: gmg_trace::now_ns(),
+            dur_ns,
+            kind: EventKind::Control,
+            op,
+            level,
+            ..FlightEvent::empty()
+        })
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Metrics export
+// ---------------------------------------------------------------------------
+
+/// Publish recorder health into the process-global `gmg_metrics`
+/// registry (no-op while metrics are disabled): per-rank gauges for
+/// events written / overwritten / lost and ring capacity. Dump counts
+/// are published by [`crate::dump`] as `flight_dumps_total`.
+pub fn export_metrics(world: &FlightWorld) {
+    if !gmg_metrics::enabled() {
+        return;
+    }
+    for ring in world.rings() {
+        let r = ring.rank();
+        gmg_metrics::gauge("flight_events_written", r, None, "flight").set(ring.written() as f64);
+        gmg_metrics::gauge("flight_events_overwritten", r, None, "flight")
+            .set(ring.overwritten() as f64);
+        gmg_metrics::gauge("flight_events_lost", r, None, "flight").set(ring.lost() as f64);
+        gmg_metrics::gauge("flight_ring_capacity", r, None, "flight").set(ring.capacity() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `ENABLED` is process-global: tests that toggle it or assert on
+    /// recorded counts must not interleave.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static L: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        L.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn record_without_installed_world_is_a_noop() {
+        record_compute(0, "smooth", 0, 10, 1);
+        record_send(1, 5, 0, 8);
+        // Nothing to assert beyond "did not panic / did not leak state".
+        assert!(installed().is_none());
+    }
+
+    #[test]
+    fn install_guard_restores_previous_target() {
+        let _l = lock();
+        let w1 = FlightWorld::with_capacity(2, 16);
+        let w2 = FlightWorld::with_capacity(1, 16);
+        let g1 = install(&w1, 1);
+        {
+            let _g2 = install(&w2, 0);
+            record_compute(3, "smooth", 100, 50, 7);
+        }
+        record_compute(2, "residual", 200, 25, 9);
+        drop(g1);
+        assert!(installed().is_none());
+        assert_eq!(w2.ring(0).written(), 1);
+        assert_eq!(w1.ring(1).written(), 1);
+        let e = &w1.ring(1).snapshot()[0];
+        assert_eq!(e.op, "residual");
+        assert_eq!(e.level, 2);
+    }
+
+    #[test]
+    fn level_scope_attributes_comm_events() {
+        let _l = lock();
+        let w = FlightWorld::with_capacity(1, 16);
+        let _g = install(&w, 0);
+        {
+            let _l = level_scope(3);
+            record_send(0, 7, 42, 64);
+            assert_eq!(current_level(), 3);
+        }
+        record_send(0, 8, 43, 64);
+        let snap = w.ring(0).snapshot();
+        assert_eq!(snap[0].level, 3);
+        assert_eq!(snap[1].level, NO_LEVEL);
+    }
+
+    #[test]
+    fn set_enabled_round_trips() {
+        let _l = lock();
+        let prev = set_enabled(false);
+        let w = FlightWorld::with_capacity(1, 16);
+        let _g = install(&w, 0);
+        record_compute(0, "smooth", 0, 1, 1);
+        assert_eq!(w.ring(0).written(), 0);
+        set_enabled(true);
+        record_compute(0, "smooth", 0, 1, 1);
+        assert_eq!(w.ring(0).written(), 1);
+        set_enabled(prev);
+    }
+
+    #[test]
+    fn metrics_export_publishes_gauges() {
+        let _l = lock();
+        let before = gmg_metrics::Registry::global().snapshot();
+        let was = gmg_metrics::enable();
+        let w = FlightWorld::with_capacity(2, 16);
+        {
+            let _g = install(&w, 0);
+            record_compute(0, "smooth", 0, 1, 1);
+        }
+        export_metrics(&w);
+        if !was {
+            gmg_metrics::disable();
+        }
+        let after = gmg_metrics::Registry::global().snapshot();
+        let delta = after.delta_since(&before);
+        let prom = gmg_metrics::prom::render_prometheus(&after);
+        assert!(prom.contains("flight_events_written"), "{prom}");
+        assert!(prom.contains("flight_ring_capacity"), "{prom}");
+        // Gauges are set for both ranks, written ≥ 1 on rank 0.
+        let _ = delta;
+    }
+}

@@ -261,6 +261,13 @@ impl GmgSolver {
             gmg_metrics::histogram("solver_op_ns", self.rank, Some(level), op)
                 .record((secs * 1e9) as u64);
         }
+        gmg_flight::record_compute(
+            level,
+            op,
+            gmg_trace::instant_ns(t0),
+            (secs * 1e9) as u64,
+            points,
+        );
     }
 
     /// Record one fused multi-smooth group: an OpTimer `fusedSmooth` row
@@ -291,6 +298,13 @@ impl GmgSolver {
             gmg_metrics::histogram("solver_op_ns", self.rank, Some(level), "fusedSmooth")
                 .record((secs * 1e9) as u64);
         }
+        gmg_flight::record_compute(
+            level,
+            "fusedSmooth",
+            gmg_trace::instant_ns(t0),
+            (secs * 1e9) as u64,
+            stats.points_updated,
+        );
     }
 
     /// One smoothing pass at level `li`: `n` iterations of
@@ -311,6 +325,9 @@ impl GmgSolver {
             if !ca || self.levels[li].margin < need {
                 let tag = self.next_tag();
                 let level = &mut self.levels[li];
+                // Attribute the exchange's comm events to this level in
+                // the flight recorder.
+                let _lv = gmg_flight::level_scope(li);
                 let t0 = Instant::now();
                 exchange_x(ctx, level, tag);
                 self.record_op(li, "exchange", t0, Instant::now(), 0);
@@ -404,6 +421,7 @@ impl GmgSolver {
             // Restriction fills b on owned cells only; CA smoothing reads
             // b in the ghost shell.
             let tag = self.next_tag();
+            let _lv = gmg_flight::level_scope(l + 1);
             let t0 = Instant::now();
             exchange_b(ctx, &mut self.levels[l + 1], tag);
             self.record_op(l + 1, "exchange", t0, Instant::now(), 0);
@@ -437,6 +455,7 @@ impl GmgSolver {
         if gmg_metrics::enabled() {
             gmg_metrics::counter("solver_events_total", self.rank, None, op).inc();
         }
+        gmg_flight::record_control(op, 0);
     }
 
     /// React to an unhealthy verdict per the configured [`RecoveryPolicy`].
@@ -451,10 +470,17 @@ impl GmgSolver {
         monitor: &mut HealthMonitor,
         recoveries: &mut usize,
     ) -> SolveHealth {
-        self.health_event(match verdict {
-            SolveHealth::NonFinite => "health:non-finite",
-            _ => "health:diverged",
-        });
+        let (op, detail) = match verdict {
+            SolveHealth::NonFinite => ("health:non-finite", "non-finite residual detected"),
+            _ => ("health:diverged", "residual divergence detected"),
+        };
+        self.health_event(op);
+        // Black-box the run at the moment of divergence. Every rank
+        // reaches this branch in lockstep (the verdict is globally
+        // reduced); rank 0 dumps once for the world.
+        if self.rank == 0 {
+            gmg_flight::dump_installed(op, detail);
+        }
         let restore_best = |s: &mut Self, cp: &Option<(f64, Checkpoint)>| {
             if let Some((_, cp)) = cp.as_ref() {
                 s.levels[0].restore(cp);

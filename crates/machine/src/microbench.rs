@@ -61,6 +61,10 @@ pub fn measure_triad_gbs(bytes_per_array: usize, repeats: usize) -> f64 {
         a.par_iter_mut()
             .zip(b.par_iter().zip(c.par_iter()))
             .for_each(|(ai, (bi, ci))| *ai = bi + s * ci);
+        // `a` is never read again, so without this the optimizer may delete
+        // the timed stores outright (observed under the serial-rayon stub
+        // build: hundreds of TB/s).
+        std::hint::black_box(a.as_slice());
         best = best.min(t0.elapsed().as_secs_f64());
     }
     // Triad traffic: read b, read c, write a (no write-allocate accounting).

@@ -71,6 +71,20 @@ impl Bound {
 /// span (gaps in every rank's timeline).
 pub const IDLE_OP: &str = "(idle)";
 
+/// An exact cross-rank message dependency supplied by an external
+/// source (the flight recorder's joined send/recv pairs): the receive
+/// completing at `(dst, recv_end_ns)` waited on the send that ended at
+/// `(src, send_end_ns)`. When present these edges override the
+/// trace-side matching heuristic, which can only guess by `(peer, tag)`
+/// and timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MessageEdge {
+    pub src: usize,
+    pub send_end_ns: u64,
+    pub dst: usize,
+    pub recv_end_ns: u64,
+}
+
 /// One attributed interval of the critical path.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PathSegment {
@@ -238,10 +252,17 @@ struct Timelines {
     top: BTreeMap<usize, Vec<TEv>>,
     /// rank → all comm events, ts order.
     comm: BTreeMap<usize, Vec<TEv>>,
+    /// `(dst_rank, recv_end_ns)` → `(src_rank, send_end_ns)` exact
+    /// causal edges; consulted before the matching heuristic.
+    edges: BTreeMap<(usize, u64), (usize, u64)>,
 }
 
 impl Timelines {
     fn build(trace: &Trace) -> Timelines {
+        Self::build_with(trace, &[])
+    }
+
+    fn build_with(trace: &Trace, edges: &[MessageEdge]) -> Timelines {
         let ranks = trace.ranks();
         let mut top: BTreeMap<usize, Vec<TEv>> = BTreeMap::new();
         let mut comm: BTreeMap<usize, Vec<TEv>> = BTreeMap::new();
@@ -273,7 +294,16 @@ impl Timelines {
             top.insert(r, merged);
             comm.insert(r, comms);
         }
-        Timelines { ranks, top, comm }
+        let edges = edges
+            .iter()
+            .map(|e| ((e.dst, e.recv_end_ns), (e.src, e.send_end_ns)))
+            .collect();
+        Timelines {
+            ranks,
+            top,
+            comm,
+            edges,
+        }
     }
 
     /// Last top-level event on `rank` starting strictly before `t`.
@@ -308,6 +338,12 @@ impl Timelines {
     /// tag when the recv carries one) that completed strictly before
     /// `frontier`. Returns `(send_end, send_rank)`.
     fn matched_send(&self, recv: &TEv, frontier: u64) -> Option<(u64, usize)> {
+        // An exact causal edge for this receive beats the heuristic.
+        if let Some(&(src, send_end)) = self.edges.get(&(recv.rank, recv.end)) {
+            if send_end < frontier && send_end <= recv.end {
+                return Some((send_end, src));
+            }
+        }
         let src = recv.peer?;
         let sends = self.comm.get(&src)?;
         sends
@@ -496,10 +532,18 @@ fn walk_segment(tl: &Timelines, seg_start: u64, seg_end: u64, nevents: usize) ->
 
 /// Compute the critical path over the whole trace, one walk per V-cycle.
 pub fn critical_path(trace: &Trace) -> CriticalPath {
+    critical_path_with_edges(trace, &[])
+}
+
+/// [`critical_path`] with exact cross-rank message edges: wherever an
+/// edge names the send a receive actually waited on, the walk follows it
+/// instead of guessing from `(peer, tag)` timing — the distributed path
+/// then crosses rank boundaries through true causality.
+pub fn critical_path_with_edges(trace: &Trace, edges: &[MessageEdge]) -> CriticalPath {
     let Some((t0, t1)) = trace.time_bounds() else {
         return CriticalPath::default();
     };
-    let tl = Timelines::build(trace);
+    let tl = Timelines::build_with(trace, edges);
     let starts = cycle_starts(trace);
     let mut cycles = Vec::new();
     let mut op_totals: BTreeMap<String, f64> = BTreeMap::new();
@@ -1172,6 +1216,67 @@ mod tests {
         );
         // Deterministic: identical reruns give identical paths.
         assert_eq!(path, critical_path(&trace));
+    }
+
+    /// Two sends from rank 1 to rank 0 under the same tag. The timing
+    /// heuristic matches the receive to the *later* send (latest end not
+    /// past the recv); an exact flight-recorder edge says the wait was on
+    /// the *earlier* one, so the path must cross into rank 1's prep
+    /// instead of its slow work.
+    #[test]
+    fn exact_edges_override_heuristic_matching() {
+        let mut early_send = ev(1, LEVEL_NONE, "send", Track::Comm, 15, 1);
+        early_send.peer = Some(0);
+        early_send.tag = Some(7);
+        let mut late_send = ev(1, LEVEL_NONE, "send", Track::Comm, 28, 2);
+        late_send.peer = Some(0);
+        late_send.tag = Some(7);
+        let mut recv = ev(0, LEVEL_NONE, "recv", Track::Comm, 11, 21); // ends at 32
+        recv.peer = Some(1);
+        recv.tag = Some(7);
+        let trace = mk_trace(vec![
+            ev(0, 0, "smooth", Track::Compute, 0, 10),
+            ev(0, 0, "exchange", Track::Compute, 10, 23), // ends at 33
+            recv,
+            ev(1, 0, "prep", Track::Compute, 0, 15),
+            early_send,
+            ev(1, 0, "slowwork", Track::Compute, 17, 11),
+            late_send,
+        ]);
+        let heuristic = critical_path(&trace);
+        let on_slow = |p: &CriticalPath| {
+            p.op_totals
+                .iter()
+                .find(|(op, _)| op == "slowwork")
+                .map_or(0.0, |(_, s)| *s)
+        };
+        assert!(
+            on_slow(&heuristic) > 0.010,
+            "heuristic matches the late send: {:#?}",
+            heuristic.op_totals
+        );
+        let edges = [MessageEdge {
+            src: 1,
+            send_end_ns: 16_000_000,
+            dst: 0,
+            recv_end_ns: 32_000_000,
+        }];
+        let exact = critical_path_with_edges(&trace, &edges);
+        assert!(
+            on_slow(&exact) < 0.001,
+            "exact edge must bypass slowwork: {:#?}",
+            exact.op_totals
+        );
+        assert!(
+            exact
+                .op_totals
+                .iter()
+                .any(|(op, s)| op == "prep" && *s > 0.004),
+            "path must land in rank 1's prep: {:#?}",
+            exact.op_totals
+        );
+        // No edges = the heuristic path, exactly.
+        assert_eq!(heuristic, critical_path_with_edges(&trace, &[]));
     }
 
     #[test]

@@ -50,6 +50,43 @@ fn counter_set(c: &mut Counters, field: &str, v: u64) {
     }
 }
 
+/// A cross-rank message arrow for Perfetto's flow-event rendering.
+///
+/// Emitted as a `ph:"s"` (flow start) / `ph:"f"` (flow finish, binding
+/// point `bp:"e"` = enclosing slice) pair sharing one `id`. Perfetto
+/// draws an arrow from the comm-track slice enclosing `src_ts_ns` on
+/// rank `src_rank` to the slice enclosing `dst_ts_ns` on `dst_rank` —
+/// so a send's completion visibly feeds the recv it unblocked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowArrow {
+    pub src_rank: usize,
+    /// Timestamp (ns) inside the source slice, typically the send end.
+    pub src_ts_ns: u64,
+    pub dst_rank: usize,
+    /// Timestamp (ns) inside the destination slice, typically the recv end.
+    pub dst_ts_ns: u64,
+    /// Flow id shared by the `s`/`f` pair; unique per arrow (e.g. the
+    /// message sequence number).
+    pub id: u64,
+}
+
+fn flow_event(ph: &str, rank: usize, ts_ns: u64, id: u64) -> Json {
+    let mut fields = vec![
+        ("name".into(), Json::Str("msg".into())),
+        ("cat".into(), Json::Str("msg".into())),
+        ("ph".into(), Json::Str(ph.into())),
+        ("id".into(), Json::Num(id as f64)),
+        ("ts".into(), Json::Num(ts_ns as f64 / 1000.0)),
+        ("pid".into(), Json::Num(rank as f64)),
+        ("tid".into(), Json::Num(Track::Comm.tid() as f64)),
+    ];
+    if ph == "f" {
+        // Bind to the *enclosing* slice rather than the next one.
+        fields.insert(3, ("bp".into(), Json::Str("e".into())));
+    }
+    Json::Obj(fields)
+}
+
 fn metadata_event(pid: usize, tid: u64, name: &str, value: String) -> Json {
     Json::Obj(vec![
         ("ph".into(), Json::Str("M".into())),
@@ -94,6 +131,12 @@ fn span_event(e: &TraceEvent) -> Json {
 impl Trace {
     /// Build the Chrome trace-event document as a JSON value.
     pub fn to_chrome_json(&self) -> Json {
+        self.to_chrome_json_with_flows(&[])
+    }
+
+    /// [`Trace::to_chrome_json`] plus cross-rank [`FlowArrow`]s. With an
+    /// empty slice the output is identical to the plain exporter.
+    pub fn to_chrome_json_with_flows(&self, flows: &[FlowArrow]) -> Json {
         let mut events = Vec::new();
         for rank in self.ranks() {
             events.push(metadata_event(
@@ -126,6 +169,10 @@ impl Trace {
             }
         }
         events.extend(self.events.iter().map(span_event));
+        for f in flows {
+            events.push(flow_event("s", f.src_rank, f.src_ts_ns, f.id));
+            events.push(flow_event("f", f.dst_rank, f.dst_ts_ns, f.id));
+        }
         Json::Obj(vec![
             ("displayTimeUnit".into(), Json::Str("ms".into())),
             ("traceEvents".into(), Json::Arr(events)),
@@ -137,10 +184,15 @@ impl Trace {
         self.to_chrome_json().to_string()
     }
 
+    /// Serialize with flow arrows; see [`Trace::to_chrome_json_with_flows`].
+    pub fn to_chrome_string_with_flows(&self, flows: &[FlowArrow]) -> String {
+        self.to_chrome_json_with_flows(flows).to_string()
+    }
+
     /// Parse a document produced by [`Trace::to_chrome_string`] back into
-    /// a [`Trace`]. Metadata (`ph:"M"`) events are skipped; unknown
-    /// `tid`s are rejected. Exact inverse of the exporter (the round-trip
-    /// test checks event-for-event equality).
+    /// a [`Trace`]. Metadata (`ph:"M"`) and flow (`ph:"s"` / `ph:"f"`)
+    /// events are skipped; unknown `tid`s are rejected. Exact inverse of
+    /// the exporter (the round-trip test checks event-for-event equality).
     pub fn from_chrome_str(s: &str) -> Result<Trace, String> {
         let doc = Json::parse(s).map_err(|e| e.to_string())?;
         let raw = doc
@@ -151,7 +203,8 @@ impl Trace {
         for ev in raw {
             match ev.get("ph").and_then(Json::as_str) {
                 Some("X") => {}
-                Some("M") => continue,
+                // Metadata and flow arrows carry no span payload.
+                Some("M") | Some("s") | Some("f") => continue,
                 other => return Err(format!("unsupported event phase {other:?}")),
             }
             let name = ev
@@ -370,6 +423,48 @@ mod tests {
         assert_eq!(fault_threads.len(), 1);
         assert_eq!(fault_threads[0].get("pid").and_then(Json::as_u64), Some(1));
         assert!(!sample_trace().to_chrome_string().contains("\"fault\""));
+    }
+
+    #[test]
+    fn flow_arrows_export_and_parse_back_cleanly() {
+        let trace = sample_trace();
+        // Arrow from rank 0's send end to rank 1's send end (any comm
+        // slices work for the schema check).
+        let flows = [FlowArrow {
+            src_rank: 0,
+            src_ts_ns: 2_333,
+            dst_rank: 1,
+            dst_ts_ns: 12_333,
+            id: 42,
+        }];
+        let text = trace.to_chrome_string_with_flows(&flows);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let start = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .expect("flow start");
+        let finish = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
+            .expect("flow finish");
+        assert_eq!(start.get("pid").and_then(Json::as_u64), Some(0));
+        assert_eq!(finish.get("pid").and_then(Json::as_u64), Some(1));
+        // Both ends share the flow id; the finish binds to the enclosing
+        // slice so the arrow lands on the recv that was unblocked.
+        assert_eq!(start.get("id").and_then(Json::as_u64), Some(42));
+        assert_eq!(finish.get("id").and_then(Json::as_u64), Some(42));
+        assert_eq!(finish.get("bp").and_then(Json::as_str), Some("e"));
+        assert!(start.get("bp").is_none());
+        // The parser skips flow events: same trace back, and the spans
+        // are untouched by the extra arrows.
+        let back = Trace::from_chrome_str(&text).expect("parse with flows");
+        assert_eq!(back.events, trace.events);
+        // No flows = the plain exporter, byte for byte.
+        assert_eq!(
+            trace.to_chrome_string_with_flows(&[]),
+            trace.to_chrome_string()
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod json;
 pub mod sink;
 pub mod summary;
 
+pub use chrome::FlowArrow;
 pub use json::Json;
 pub use sink::{
     capture, current_scope, enabled, epoch, instant_ns, intern, now_ns, record, record_instant,

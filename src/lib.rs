@@ -11,6 +11,7 @@
 pub use gmg_brick as brick;
 pub use gmg_comm as comm;
 pub use gmg_core as gmg;
+pub use gmg_flight as flight;
 pub use gmg_hpgmg as hpgmg;
 pub use gmg_machine as machine;
 pub use gmg_mesh as mesh;
