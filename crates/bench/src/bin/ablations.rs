@@ -1,6 +1,6 @@
 //! Run the design-choice ablation studies. `cargo run --release -p gmg-bench --bin ablations`.
 //! Set `GMG_TRACE=<path>` to also capture a Perfetto trace of the run.
 fn main() {
-    let v = gmg_bench::profile::with_env_trace(gmg_bench::ablations::run);
+    let v = gmg_bench::profile::with_env_hooks(gmg_bench::ablations::run);
     gmg_bench::report::save("ablations", &v);
 }

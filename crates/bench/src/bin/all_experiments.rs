@@ -17,7 +17,7 @@ fn main() {
         ("table4", gmg_bench::table4::run),
         ("table5", gmg_bench::table5::run),
     ];
-    gmg_bench::profile::with_env_trace(|| {
+    gmg_bench::profile::with_env_hooks(|| {
         for (name, f) in runs {
             let v = f();
             gmg_bench::report::save(name, &v);

@@ -50,5 +50,5 @@ fn main() {
             }
         }
     }
-    std::process::exit(run(&opts));
+    std::process::exit(gmg_bench::profile::with_env_prof(|| run(&opts)));
 }

@@ -25,7 +25,7 @@ fn main() {
             }
         }
     }
-    let v = gmg_bench::profile::with_env_trace(|| gmg_bench::chaos::run_with_seed(seed));
+    let v = gmg_bench::profile::with_env_hooks(|| gmg_bench::chaos::run_with_seed(seed));
     gmg_bench::report::save("chaos", &v);
     if v["ok"] != serde_json::Value::Bool(true) {
         std::process::exit(1);

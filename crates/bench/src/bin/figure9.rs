@@ -1,6 +1,6 @@
 //! Regenerate the paper's figure9. Run: `cargo run --release -p gmg-bench --bin figure9`.
 //! Set `GMG_TRACE=<path>` to also capture a Perfetto trace of the run.
 fn main() {
-    let v = gmg_bench::profile::with_env_trace(gmg_bench::figure9::run);
+    let v = gmg_bench::profile::with_env_hooks(gmg_bench::figure9::run);
     gmg_bench::report::save("figure9", &v);
 }

@@ -1,0 +1,71 @@
+//! Sampled kernel efficiency observatory.
+//!
+//! ```text
+//! cargo run --release -p gmg-bench --bin flame
+//!   --grid N                   fine-grid cube side (default 96)
+//!   --seconds S                sampling time per kernel (default 0.6)
+//!   --interval-us U            sampling interval in µs (default 200)
+//!   --min-coverage F           required named sub-phase fraction (default 0.90)
+//!   --inject-slowdown PHASE:PCT  attribution self-test: slow matching
+//!                              phases and require them to dominate the diff
+//! ```
+//!
+//! Writes `results/flame.folded` + `results/efficiency.md`; exits nonzero
+//! when coverage, sampled-vs-traced consistency, or attribution fails.
+
+use gmg_bench::flame::FlameOpts;
+
+fn main() {
+    let mut opts = FlameOpts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--grid" => {
+                opts.grid = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--grid needs an integer");
+            }
+            "--seconds" => {
+                opts.seconds_per_kernel = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seconds needs a number");
+            }
+            "--interval-us" => {
+                opts.interval_us = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--interval-us needs an integer");
+            }
+            "--min-coverage" => {
+                opts.min_coverage = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-coverage needs a fraction");
+            }
+            "--inject-slowdown" => {
+                let spec = args.next().expect("--inject-slowdown needs PHASE:PCT");
+                let (phase, pct) = spec
+                    .rsplit_once(':')
+                    .expect("--inject-slowdown needs PHASE:PCT");
+                let pct: f64 = pct.parse().expect("--inject-slowdown PCT must be numeric");
+                opts.inject = Some((phase.to_string(), pct));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: flame [--grid N] [--seconds S] [--interval-us U] \
+                     [--min-coverage F] [--inject-slowdown PHASE:PCT]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::process::exit(gmg_bench::profile::with_env_hooks(|| {
+        gmg_bench::flame::run(&opts)
+    }));
+}

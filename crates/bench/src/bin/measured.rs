@@ -2,6 +2,6 @@
 //! latency-throughput model. `cargo run --release -p gmg-bench --bin measured`.
 //! Set `GMG_TRACE=<path>` to also capture a Perfetto trace of the run.
 fn main() {
-    let v = gmg_bench::profile::with_env_trace(gmg_bench::measured::run);
+    let v = gmg_bench::profile::with_env_hooks(gmg_bench::measured::run);
     gmg_bench::report::save("measured", &v);
 }

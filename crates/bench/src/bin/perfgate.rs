@@ -10,7 +10,7 @@
 //! ```
 
 use gmg_bench::gate::{run, GateOpts};
-use gmg_bench::profile::with_env_trace;
+use gmg_bench::profile::with_env_hooks;
 
 fn main() {
     let mut opts = GateOpts::default();
@@ -32,5 +32,5 @@ fn main() {
             }
         }
     }
-    std::process::exit(with_env_trace(|| run(&opts)));
+    std::process::exit(with_env_hooks(|| run(&opts)));
 }

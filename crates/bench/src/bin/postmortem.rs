@@ -34,10 +34,10 @@ fn main() {
             }
         }
     }
-    let v = match dump {
+    let v = gmg_bench::profile::with_env_prof(|| match dump {
         Some(dir) => gmg_bench::postmortem::analyze_dump(&dir),
         None => gmg_bench::postmortem::run_seeded(seed),
-    };
+    });
     gmg_bench::report::save("postmortem", &v);
     if v["ok"] != serde_json::Value::Bool(true) {
         std::process::exit(1);

@@ -1,6 +1,6 @@
 //! Regenerate the paper's table3. Run: `cargo run --release -p gmg-bench --bin table3`.
 //! Set `GMG_TRACE=<path>` to also capture a Perfetto trace of the run.
 fn main() {
-    let v = gmg_bench::profile::with_env_trace(gmg_bench::table3::run);
+    let v = gmg_bench::profile::with_env_hooks(gmg_bench::table3::run);
     gmg_bench::report::save("table3", &v);
 }

@@ -239,6 +239,32 @@ fn mk_layout(n: i64, bd: i64) -> Arc<BrickLayout> {
     ))
 }
 
+/// Sampled sub-phase breakdown of the bricked applyOp for the trajectory's
+/// `extra` field: run the kernel under a short gmg-prof session and report
+/// each direct sub-phase's share of in-kernel samples. Pure context — the
+/// gate never scores it — but it lets `--diff`-style trajectory analysis
+/// see *which* part of the kernel moved, not just that it moved.
+fn applyop_phase_breakdown(
+    dst: &mut BrickedField,
+    src: &BrickedField,
+    alpha: f64,
+    beta: f64,
+    owned: Box3,
+) -> Value {
+    let ph = gmg_prof::brick_phases(8);
+    let session = gmg_prof::start(std::time::Duration::from_micros(100));
+    let t0 = Instant::now();
+    while t0.elapsed().as_secs_f64() < 0.15 {
+        apply_star7_bricked(dst, src, alpha, beta, owned);
+    }
+    let b = session.stop().under_root(ph.apply_root);
+    let mut phases = Vec::new();
+    for name in b.children.keys() {
+        phases.push(json!({ "phase": name.as_str(), "share": b.child_share(name) }));
+    }
+    json!({ "samples": b.total, "coverage": b.coverage(), "phases": phases })
+}
+
 fn bench_applyop(opts: &GateOpts) -> BenchOut {
     let n = opts.grid;
     let owned = Box3::cube(n);
@@ -255,6 +281,7 @@ fn bench_applyop(opts: &GateOpts) -> BenchOut {
     let base = time_median(opts.samples, || {
         timed(|| apply_star7_array(&mut a_dst, &a_src, alpha, beta, owned))
     });
+    let breakdown = applyop_phase_breakdown(&mut dst, &src, alpha, beta, owned);
     finish(
         "applyop_bricked_vs_array",
         "array applyOp",
@@ -262,7 +289,7 @@ fn bench_applyop(opts: &GateOpts) -> BenchOut {
         base,
         cand,
         None,
-        json!({ "grid": n, "brick_dim": 8i64 }),
+        json!({ "grid": n, "brick_dim": 8i64, "phase_breakdown": breakdown }),
         opts,
     )
 }
@@ -719,6 +746,23 @@ mod tests {
             .as_f64()
             .unwrap();
         assert!(dpp < 7.0, "fused traffic model {dpp} >= sweep");
+    }
+
+    #[test]
+    fn applyop_entry_carries_phase_breakdown() {
+        let b = bench_applyop(&tiny_opts());
+        let bd = &b.extra["phase_breakdown"];
+        assert!(bd["samples"].as_u64().unwrap() > 0, "{bd:?}");
+        assert!(bd["coverage"].as_f64().unwrap() > 0.5, "{bd:?}");
+        let phases = bd["phases"].as_array().unwrap();
+        assert!(
+            phases
+                .iter()
+                .any(|p| p["phase"].as_str() == Some("interior@b8")),
+            "{phases:?}"
+        );
+        let total: f64 = phases.iter().map(|p| p["share"].as_f64().unwrap()).sum();
+        assert!(total <= 1.0 + 1e-9, "shares sum to {total}");
     }
 
     #[test]

@@ -34,8 +34,13 @@
 //! (seeded killed-rank solve → automatic dump → culprit naming,
 //! wait-state attribution, edge-exact critical path, Perfetto timeline
 //! with cross-rank flow arrows), run via `--bin postmortem -- --seed N`
-//! or `-- --dump DIR`.
-//! Every binary honours `GMG_TRACE=<path>` to capture a trace of its run.
+//! or `-- --dump DIR` — and [`flame`] — the sampled kernel efficiency
+//! observatory (gmg-prof folded stacks, per-phase decomposition of the
+//! bricked applyOp, roofline columns, sampled-vs-traced cross-validation,
+//! `--inject-slowdown PHASE:PCT` attribution self-test), run via
+//! `--bin flame`.
+//! Every binary honours `GMG_TRACE=<path>` to capture a trace of its run
+//! and `GMG_PROF=<path>` to write folded sampling stacks of its run.
 //!
 //! Each `run()` prints the same rows/series the paper reports and returns a
 //! JSON value; binaries also persist it under `results/`. Criterion
@@ -51,6 +56,7 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod flame;
 pub mod gate;
 pub mod measured;
 pub mod plot;

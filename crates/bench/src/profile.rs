@@ -50,6 +50,45 @@ pub fn with_trace_to<T>(path: Option<PathBuf>, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// If `GMG_PROF=<path>` is set, run `f` under a gmg-prof sampling session
+/// and write the folded flamegraph stacks to `<path>`; otherwise run `f`
+/// directly (phase markers stay disabled: one relaxed atomic load each).
+/// The sampling interval follows `GMG_PROF_INTERVAL_US` (default 200µs).
+/// Mirrors [`with_env_trace`].
+pub fn with_env_prof<T>(f: impl FnOnce() -> T) -> T {
+    with_prof_to(std::env::var_os("GMG_PROF").map(PathBuf::from), f)
+}
+
+/// Env-independent core of [`with_env_prof`]: profile to `path` if given.
+pub fn with_prof_to<T>(path: Option<PathBuf>, f: impl FnOnce() -> T) -> T {
+    let Some(path) = path else { return f() };
+    let session = gmg_prof::start_default();
+    let out = f();
+    let profile = session.stop();
+    let dir = crate::report::ensure_dir(Some(
+        path.parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from(".")),
+    ));
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "prof.folded".into());
+    let path = crate::report::save_raw_in(&dir, &name, &profile.to_folded());
+    eprintln!(
+        "[prof: {} samples / {} ticks, {} dropped -> {path:?}]",
+        profile.samples, profile.ticks, profile.dropped
+    );
+    out
+}
+
+/// Both env hooks at once: `GMG_TRACE` (Chrome trace) and `GMG_PROF`
+/// (folded stacks). Every harness binary wraps its `run()` in this.
+pub fn with_env_hooks<T>(f: impl FnOnce() -> T) -> T {
+    with_env_trace(|| with_env_prof(f))
+}
+
 /// Problem the profiler runs: a fixed number of V-cycles so the timed work
 /// is deterministic, split across two ranks so the trace shows real
 /// send/recv/pack/unpack activity.

@@ -328,6 +328,10 @@ impl GmgSolver {
                 // Attribute the exchange's comm events to this level in
                 // the flight recorder.
                 let _lv = gmg_flight::level_scope(li);
+                // Phase scopes bracket the op itself (unlike record_op,
+                // which books time after the fact) so the sampler can
+                // catch the rank thread inside it.
+                let _ph = gmg_prof::phase("exchange");
                 let t0 = Instant::now();
                 exchange_x(ctx, level, tag);
                 self.record_op(li, "exchange", t0, Instant::now(), 0);
@@ -342,6 +346,7 @@ impl GmgSolver {
                         .min(level.margin.max(0) as usize);
                     if s >= 2 {
                         let region = level.owned.grow(level.margin - 1);
+                        let _ph = gmg_prof::phase("fusedSmooth");
                         let t0 = Instant::now();
                         let stats = level.fused_multi_smooth(region, s, gamma, fused);
                         let t1 = Instant::now();
@@ -364,12 +369,18 @@ impl GmgSolver {
             if let Smoother::Jacobi = smoother {
                 // The paper's path, with the paper's split timer rows.
                 let t0 = Instant::now();
-                level.apply_op(region);
+                {
+                    let _ph = gmg_prof::phase("applyOp");
+                    level.apply_op(region);
+                }
                 let t1 = Instant::now();
-                if fused {
-                    level.smooth_residual(region);
-                } else {
-                    level.smooth(region);
+                {
+                    let _ph = gmg_prof::phase(if fused { "smooth+residual" } else { "smooth" });
+                    if fused {
+                        level.smooth_residual(region);
+                    } else {
+                        level.smooth(region);
+                    }
                 }
                 let t2 = Instant::now();
                 self.record_op(li, "applyOp", t0, t1, points);
@@ -381,6 +392,7 @@ impl GmgSolver {
                     points,
                 );
             } else {
+                let _ph = gmg_prof::phase(smoother.name());
                 let t0 = Instant::now();
                 smoother.apply(level, region, fused);
                 self.record_op(li, smoother.name(), t0, Instant::now(), points);
@@ -411,9 +423,15 @@ impl GmgSolver {
         // Inter-level ops count per *coarse* point (Table IV convention).
         let coarse_points = coarse_part[0].owned.volume() as u64;
         let t0 = Instant::now();
-        restriction(&fine_part[l], &mut coarse_part[0]);
+        {
+            let _ph = gmg_prof::phase("restriction");
+            restriction(&fine_part[l], &mut coarse_part[0]);
+        }
         let t1 = Instant::now();
-        coarse_part[0].init_zero();
+        {
+            let _ph = gmg_prof::phase("initZero");
+            coarse_part[0].init_zero();
+        }
         let t2 = Instant::now();
         self.record_op(l, "restriction", t0, t1, coarse_points);
         self.record_op(l + 1, "initZero", t1, t2, coarse_points);
@@ -422,6 +440,7 @@ impl GmgSolver {
             // b in the ghost shell.
             let tag = self.next_tag();
             let _lv = gmg_flight::level_scope(l + 1);
+            let _ph = gmg_prof::phase("exchange");
             let t0 = Instant::now();
             exchange_b(ctx, &mut self.levels[l + 1], tag);
             self.record_op(l + 1, "exchange", t0, Instant::now(), 0);
@@ -434,7 +453,10 @@ impl GmgSolver {
         let (fine_part, coarse_part) = self.levels.split_at_mut(l + 1);
         let coarse_points = coarse_part[0].owned.volume() as u64;
         let t0 = Instant::now();
-        interpolation_increment(&coarse_part[0], &mut fine_part[l]);
+        {
+            let _ph = gmg_prof::phase("interpolation+increment");
+            interpolation_increment(&coarse_part[0], &mut fine_part[l]);
+        }
         self.record_op(
             l,
             "interpolation+increment",

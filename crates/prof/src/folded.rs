@@ -1,0 +1,83 @@
+//! Folded-stack text codec — the `a;b;c N` line format consumed by
+//! Brendan Gregg's `flamegraph.pl` and every compatible viewer
+//! (speedscope, inferno, Firefox Profiler). One line per unique stack,
+//! frames joined by `;`, a space, then the sample count. The parser is
+//! the encoder's inverse so `results/flame.folded` round-trips in tests.
+
+use std::collections::BTreeMap;
+
+/// Render folded stacks as flamegraph text. Lines are emitted in key
+/// order (the map is ordered), so output is deterministic.
+pub fn encode(folded: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (stack, n) in folded {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&n.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse flamegraph folded text back into a stack → count map. Counts on
+/// duplicate stacks accumulate. Blank lines are ignored; a line without
+/// a trailing integer count, or with an empty stack or empty frame, is
+/// an error.
+pub fn parse(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no sample count: {line:?}", ln + 1))?;
+        let n: u64 = count
+            .parse()
+            .map_err(|e| format!("line {}: bad count {count:?}: {e}", ln + 1))?;
+        if stack.is_empty() || stack.split(';').any(|f| f.is_empty()) {
+            return Err(format!("line {}: empty frame in {stack:?}", ln + 1));
+        }
+        *out.entry(stack.to_string()).or_insert(0) += n;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let m = map(&[
+            ("applyop_bricked@b8;interior@b8", 840),
+            ("applyop_bricked@b8;brick_boundary@b8", 120),
+            ("applyop_bricked@b8", 11),
+            ("exchange", 40),
+        ]);
+        let text = encode(&m);
+        assert_eq!(parse(&text).unwrap(), m);
+        // Encoding is deterministic (sorted).
+        assert_eq!(encode(&parse(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn parse_accumulates_duplicates() {
+        let m = parse("a;b 3\na;b 4\n").unwrap();
+        assert_eq!(m, map(&[("a;b", 7)]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("no-count-here\n").is_err());
+        assert!(parse("a;b notanumber\n").is_err());
+        assert!(parse("a;;b 3\n").is_err());
+        assert!(parse(" 3\n").is_err());
+        assert!(parse("").unwrap().is_empty());
+    }
+}

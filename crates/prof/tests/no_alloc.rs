@@ -1,0 +1,63 @@
+//! The phase push/pop hot path must never allocate: a counting global
+//! allocator wraps the system one, and after warm-up a burst of nested
+//! phase scopes must leave the allocation count untouched.
+//!
+//! Enablement uses [`gmg_prof::ManualEnable`] — an active session count
+//! with *no* sampler thread — because the sampler thread legitimately
+//! allocates (folded-stack keys) and would fog the process-wide counter.
+//!
+//! This file holds exactly one test so no sibling test can allocate
+//! concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, new)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn phase_push_pop_does_not_allocate() {
+    let _en = gmg_prof::ManualEnable::new();
+    let phases = gmg_prof::brick_phases(8);
+    // Warm up: the first push registers this thread's stack (one-time
+    // Arc + registry growth) and resolves the trace epoch.
+    let warm = || {
+        let _root = gmg_prof::phase(phases.apply_root);
+        let _a = gmg_prof::phase(phases.apply_index);
+        drop(_a);
+        let _b = gmg_prof::phase(phases.apply_interior);
+        drop(_b);
+        let _c = gmg_prof::phase(phases.apply_boundary);
+    };
+    warm();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..5_000 {
+        warm();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "phase hot path allocated {} times over 20k push/pop pairs",
+        after - before
+    );
+}

@@ -1,0 +1,88 @@
+//! Property tests for the folded-stack codec: encode → parse is the
+//! identity for any valid stack map, encoding is deterministic, and
+//! duplicate-line accumulation matches map merging.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Frame names as the profiler produces them: static identifiers plus
+/// the `@bN` brick-shape suffix — never spaces, newlines, or `;`.
+const NAMES: &[&str] = &[
+    "applyop_bricked@b8",
+    "applyop_array",
+    "interior@b8",
+    "brick_boundary@b8",
+    "index@b4",
+    "fused_multismooth@b8",
+    "stage@b8",
+    "tile_smooth@b2",
+    "writeback@b16",
+    "exchange",
+    "smooth+residual",
+    "restriction",
+];
+
+fn frames() -> impl Strategy<Value = Vec<&'static str>> {
+    prop::collection::vec(prop::sample::select(NAMES.to_vec()), 1..5)
+}
+
+fn folded_raw() -> impl Strategy<Value = Vec<Vec<&'static str>>> {
+    prop::collection::vec(frames(), 0..20)
+}
+
+fn build_map(stacks: Vec<Vec<&'static str>>, counts: &[u64]) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    for (i, s) in stacks.into_iter().enumerate() {
+        let n = counts[i % counts.len().max(1)].max(1);
+        *m.entry(s.join(";")).or_insert(0) += n;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse(encode(m)) == m for any valid folded map.
+    #[test]
+    fn encode_parse_roundtrip(
+        stacks in folded_raw(),
+        counts in prop::collection::vec(1u64..1_000_000, 8usize),
+    ) {
+        let m = build_map(stacks, &counts);
+        let text = gmg_prof::folded::encode(&m);
+        let back = gmg_prof::folded::parse(&text).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    /// Encoding the parse of an encoding is a fixed point (deterministic,
+    /// sorted output).
+    #[test]
+    fn encode_is_canonical(
+        stacks in folded_raw(),
+        counts in prop::collection::vec(1u64..1_000_000, 8usize),
+    ) {
+        let m = build_map(stacks, &counts);
+        let text = gmg_prof::folded::encode(&m);
+        let again = gmg_prof::folded::encode(&gmg_prof::folded::parse(&text).unwrap());
+        prop_assert_eq!(text, again);
+    }
+
+    /// Concatenating two encodings parses to the merged (count-summed) map.
+    #[test]
+    fn concatenation_accumulates(
+        s1 in folded_raw(),
+        s2 in folded_raw(),
+        counts in prop::collection::vec(1u64..1_000_000, 8usize),
+    ) {
+        let a = build_map(s1, &counts);
+        let b = build_map(s2, &counts);
+        let mut text = gmg_prof::folded::encode(&a);
+        text.push_str(&gmg_prof::folded::encode(&b));
+        let merged = gmg_prof::folded::parse(&text).unwrap();
+        let mut want = a.clone();
+        for (k, v) in &b {
+            *want.entry(k.clone()).or_insert(0) += v;
+        }
+        prop_assert_eq!(merged, want);
+    }
+}

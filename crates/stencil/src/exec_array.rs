@@ -90,6 +90,10 @@ pub fn apply_star7_array(
     let s = src.as_slice();
     // Safety-free formulation: compute each x-row via slice windows.
     dst.par_for_each_slab(region, |slab, mut w| {
+        // The array kernel is one unit-stride stream: its whole body is
+        // "interior" work, with no adjacency or index sub-phases.
+        let _kernel = gmg_prof::phase(gmg_prof::APPLYOP_ARRAY);
+        let _p = gmg_prof::phase(gmg_prof::ARRAY_INTERIOR);
         for z in slab.lo.z..slab.hi.z {
             for y in slab.lo.y..slab.hi.y {
                 let row0 = Point3::new(slab.lo.x, y, z);

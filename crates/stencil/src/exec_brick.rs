@@ -69,6 +69,15 @@ pub fn run_stencil_bricked(
 /// `dst[p] = alpha·src[p] + beta·Σ src[p ± e]` for `p ∈ region`, parallel
 /// over bricks. `src` and `dst` must share a layout, and `src` must be
 /// valid on `region.grow(1)` (within the storage shell).
+///
+/// The per-brick body is split into three gmg-prof phases — `index`
+/// (neighborhood + bounds setup), `interior` (contiguous unit-stride
+/// spans on the center brick), `brick_boundary` (face/edge cells through
+/// the adjacency indirection) — so a sampling session can attribute the
+/// kernel's time to the sub-kernel that spends it. The two sweeps write
+/// disjoint cell sets, so the result is identical to a single fused
+/// sweep, and with profiling disabled each phase marker is one relaxed
+/// atomic load.
 pub fn apply_star7_bricked(
     dst: &mut BrickedField,
     src: &BrickedField,
@@ -89,22 +98,30 @@ pub fn apply_star7_bricked(
     let pieces = layout.slots_intersecting(region);
     let b = layout.brick_dim();
     let (sy, sz) = (b as usize, (b * b) as usize);
+    let ph = gmg_prof::brick_phases(b);
     dst.par_update_bricks(&pieces, |slot, sub, out| {
+        // Rooted inside the closure so the phase lands on the rayon
+        // worker actually doing the work.
+        let _kernel = gmg_prof::phase(ph.apply_root);
+        let setup = gmg_prof::phase(ph.apply_index);
         let nb = BrickNeighborhood::new(src, slot);
         let center = nb.center();
         let cells = layout.cells_of_slot(slot);
-        for z in sub.lo.z..sub.hi.z {
-            let lz = z - cells.lo.z;
-            for y in sub.lo.y..sub.hi.y {
-                let ly = y - cells.lo.y;
-                let yz_interior = lz >= 1 && lz < b - 1 && ly >= 1 && ly < b - 1;
-                let row = ((lz * b + ly) * b) as usize;
-                let x0 = sub.lo.x - cells.lo.x;
-                let x1 = sub.hi.x - cells.lo.x;
-                if yz_interior {
-                    // Interior x span runs on the contiguous center brick.
-                    let ia = x0.max(1);
-                    let ib = x1.min(b - 1);
+        let x0 = sub.lo.x - cells.lo.x;
+        let x1 = sub.hi.x - cells.lo.x;
+        // Interior x span runs on the contiguous center brick; rows with
+        // local y and z in [1, b-1) are the yz-interior of the brick.
+        let (ia, ib) = (x0.max(1), x1.min(b - 1));
+        let (zi0, zi1) = (sub.lo.z.max(cells.lo.z + 1), sub.hi.z.min(cells.hi.z - 1));
+        let (yi0, yi1) = (sub.lo.y.max(cells.lo.y + 1), sub.hi.y.min(cells.hi.y - 1));
+        drop(setup);
+        if ia < ib && zi0 < zi1 && yi0 < yi1 {
+            let _p = gmg_prof::phase(ph.apply_interior);
+            for z in zi0..zi1 {
+                let lz = z - cells.lo.z;
+                for y in yi0..yi1 {
+                    let ly = y - cells.lo.y;
+                    let row = ((lz * b + ly) * b) as usize;
                     for lx in ia..ib {
                         let i = row + lx as usize;
                         out[i] = alpha * center[i]
@@ -113,6 +130,17 @@ pub fn apply_star7_bricked(
                                     + (center[i - sy] + center[i + sy])
                                     + (center[i - sz] + center[i + sz]));
                     }
+                }
+            }
+        }
+        let _p = gmg_prof::phase(ph.apply_boundary);
+        for z in sub.lo.z..sub.hi.z {
+            let lz = z - cells.lo.z;
+            for y in sub.lo.y..sub.hi.y {
+                let ly = y - cells.lo.y;
+                let yz_interior = lz >= 1 && lz < b - 1 && ly >= 1 && ly < b - 1;
+                let row = ((lz * b + ly) * b) as usize;
+                if yz_interior {
                     // Row ends cross the ±x face.
                     if x0 == 0 {
                         out[row] = star7_at(&nb, Point3::new(0, ly, lz), alpha, beta);

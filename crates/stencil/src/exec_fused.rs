@@ -293,6 +293,7 @@ pub fn fused_multismooth_bricked(
     );
     let (tiles, bb, text) = brick_tiles(region, bd, tile_cells / bd);
     let with_residual = r.is_some();
+    let ph = gmg_prof::brick_phases(bd);
 
     // Phase 1: stage, iterate. Tiles only read the fields, so they run
     // concurrently with no write hazards.
@@ -301,12 +302,16 @@ pub fn fused_multismooth_bricked(
     let scratches: Vec<TileScratch> = tiles
         .par_iter()
         .map(|&tile| {
+            let _kernel = gmg_prof::phase(ph.fused_root);
+            let stage = gmg_prof::phase(ph.fused_stage);
             let mut scr = TileScratch::new(tile, region, s, with_residual);
             let bounds = scr.bounds;
             let fill_b = tile.grow(s as i64 - 1).intersect(&region);
             scr.stats.doubles_read += (bounds.volume() + fill_b.volume()) as u64;
             fill_from_bricked(&mut scr.x, &bounds, xs, &layout, bounds);
             fill_from_bricked(&mut scr.b, &bounds, bs, &layout, fill_b);
+            drop(stage);
+            let _p = gmg_prof::phase(ph.fused_smooth);
             scr.smooth(region, s, gamma, alpha, beta);
             scr
         })
@@ -321,6 +326,8 @@ pub fn fused_multismooth_bricked(
     };
     let pieces = layout.slots_intersecting(region);
     x.par_update_bricks(&pieces, |slot, sub, out| {
+        let _kernel = gmg_prof::phase(ph.fused_root);
+        let _p = gmg_prof::phase(ph.fused_writeback);
         let scr = &scratches[tile_of(layout.brick_of_slot(slot))];
         write_back_brick(
             out,
@@ -333,6 +340,8 @@ pub fn fused_multismooth_bricked(
     });
     if let Some(rf) = r {
         rf.par_update_bricks(&pieces, |slot, sub, out| {
+            let _kernel = gmg_prof::phase(ph.fused_root);
+            let _p = gmg_prof::phase(ph.fused_writeback);
             let scr = &scratches[tile_of(layout.brick_of_slot(slot))];
             write_back_brick(
                 out,
