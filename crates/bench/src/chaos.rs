@@ -279,6 +279,208 @@ pub fn run() -> Value {
     run_with_seed(7)
 }
 
+// ---------------------------------------------------------------------
+// Elastic multi-process campaign (`chaos --transport process`)
+// ---------------------------------------------------------------------
+
+/// Entry body for the ranks of the elastic multi-process campaign. The
+/// chaos binary's (and the test binary's) `run_child_if_spawned` hook
+/// dispatches spawned children here by entry name.
+#[cfg(unix)]
+pub fn elastic_child(ctx: &mut gmg_comm::RankCtx, args: &str) -> String {
+    let mut cfg = chaos_solver_config();
+    cfg.recovery = RecoveryPolicy::Rejoin;
+    let mut s = GmgSolver::new(chaos_decomp(), ctx.rank(), cfg);
+    if args.contains("paced") {
+        // Stretch the solve so the controller's progress-triggered
+        // SIGKILL lands mid-run instead of after the finish line.
+        s.phase_hook = Some(Box::new(|_cycle, _phase, _level| {
+            std::thread::sleep(Duration::from_millis(8));
+        }));
+    }
+    let st = s.solve(ctx);
+    let hist: Vec<String> = st
+        .residual_history
+        .iter()
+        .map(|r| format!("{:x}", r.to_bits()))
+        .collect();
+    format!("{}|{}|{}", hist.join(","), st.rejoin_epochs, st.converged)
+}
+
+/// Parse [`elastic_child`]'s result string: (history bits, rejoin
+/// epochs, converged).
+#[cfg(unix)]
+fn parse_elastic(result: &str) -> (Vec<u64>, usize, bool) {
+    let mut it = result.trim().split('|');
+    let hist = it
+        .next()
+        .unwrap_or_default()
+        .split(',')
+        .map(|h| u64::from_str_radix(h, 16).expect("hex residual"))
+        .collect();
+    let epochs = it.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let converged = it.next() == Some("true");
+    (hist, epochs, converged)
+}
+
+/// One multi-process solve over the UDS datagram transport (plus seeded
+/// packet loss the ARQ layer must absorb), optionally SIGKILLing
+/// `kill` once its reported progress passes V-cycle 3. Verifies the
+/// per-rank histories against the thread-transport `baseline`
+/// bit-for-bit, and for a kill run writes the merged flight dump's
+/// postmortem naming the victim.
+#[cfg(unix)]
+fn process_leg(seed: u64, kill: Option<usize>, child_args: &[&str], baseline: &[u64]) -> Value {
+    use gmg_comm::{ProcessWorld, SocketKind};
+    let nranks = chaos_decomp().num_ranks();
+    let mut world = ProcessWorld::new(nranks, "elastic")
+        .transport(SocketKind::Uds)
+        .args(if kill.is_some() { "paced" } else { "fast" })
+        .child_args(child_args)
+        .faults(FaultPlan::new(FaultConfig::lossy(0.005), seed))
+        .deadline(Duration::from_secs(180));
+    if let Some(victim) = kill {
+        world = world.kill_process_at(victim, 3);
+    }
+    let report = match world.run() {
+        Ok(r) => r,
+        Err(e) => {
+            println!("  process world FAILED: {e}");
+            return json!({ "seed": seed, "survived": false, "failure": e, "ok": false });
+        }
+    };
+
+    let mut exact = true;
+    let mut converged_all = true;
+    let mut epochs: Vec<usize> = Vec::new();
+    for res in &report.results {
+        let (hist, ep, conv) = parse_elastic(res);
+        exact &= hist == baseline;
+        converged_all &= conv;
+        epochs.push(ep);
+    }
+    let rejoined_once = report.rejoins.len() == 1
+        && kill.map_or(false, |v| report.rejoins[0].rank == v)
+        && epochs.iter().all(|&e| e == 1);
+    let clean = kill.is_none() && report.rejoins.is_empty() && epochs.iter().all(|&e| e == 0);
+
+    // Forensics: the merged flight dump's postmortem must name the
+    // killed rank (the controller knows who it killed — authoritative).
+    let mut postmortem_path = String::new();
+    let mut culprit_named = kill.is_none();
+    if let (Some(victim), Some(dump)) = (kill, report.flight_dump.as_ref()) {
+        let ev = &report.rejoins[0];
+        let cause = format!(
+            "SIGKILLed by the chaos controller and rejoined at epoch {} \
+             from the cycle-{} checkpoint",
+            ev.epoch, ev.resume_cycle
+        );
+        let pm = crate::postmortem::analyze_dump_with(dump, Some((victim, &cause)));
+        postmortem_path = pm["report"].as_str().unwrap_or_default().to_string();
+        culprit_named = pm["ok"] == true
+            && std::fs::read_to_string(&postmortem_path)
+                .map(|md| md.contains(&format!("Culprit: rank {victim}")))
+                .unwrap_or(false);
+    }
+
+    let ok = exact && converged_all && culprit_named && (clean || rejoined_once);
+    println!(
+        "  {}  seed {seed}: exact={exact} converged={converged_all} rejoins={} epochs={epochs:?} \
+         culprit_named={culprit_named} → {}",
+        if kill.is_some() { "kill " } else { "clean" },
+        report.rejoins.len(),
+        if ok { "OK" } else { "NOT OK" }
+    );
+    json!({
+        "seed": seed,
+        "survived": true,
+        "transport": report.transport,
+        "kill_rank": kill.map_or(-1, |v| v as i64),
+        "exact_match": exact,
+        "converged": converged_all,
+        "rejoins": report.rejoins.len(),
+        "rejoin_epochs": epochs,
+        "resume_cycle": report.rejoins.first().map_or(-2, |e| e.resume_cycle),
+        "culprit_named": culprit_named,
+        "postmortem": postmortem_path,
+        "ok": ok,
+    })
+}
+
+/// The elastic multi-process campaign: every rank is a real OS process
+/// on the UDS datagram transport with seeded packet loss; one run is
+/// clean, and with `kill` one rank is SIGKILLed mid-solve, respawned,
+/// and rejoined from its durable checkpoints. Both runs must reproduce
+/// the thread-transport baseline bit-for-bit.
+#[cfg(unix)]
+pub fn run_process_campaign(seed: u64, kill: Option<usize>) -> Value {
+    run_process_campaign_with(seed, kill, &[])
+}
+
+/// [`run_process_campaign`] with explicit child argv (the in-crate test
+/// harness must pass a libtest filter so spawned copies of the test
+/// binary land in their entry hook instead of running the whole suite).
+#[cfg(unix)]
+pub fn run_process_campaign_with(seed: u64, kill: Option<usize>, child_args: &[&str]) -> Value {
+    crate::report::heading(&format!(
+        "Chaos — elastic multi-process campaign (base seed {seed})"
+    ));
+    gmg_metrics::enable();
+
+    // Thread-transport ground truth: under Rejoin without a membership
+    // world the same config is a plain solve.
+    let mut cfg = chaos_solver_config();
+    cfg.recovery = RecoveryPolicy::Rejoin;
+    let baseline = baseline_solve(cfg);
+    let base_hist: Vec<u64> = baseline[0]
+        .residual_history
+        .iter()
+        .map(|r| r.to_bits())
+        .collect();
+    assert!(
+        baseline
+            .iter()
+            .all(|s| s.residual_history == baseline[0].residual_history),
+        "baseline ranks disagree"
+    );
+    println!(
+        "thread baseline: converged={} in {} cycles, final residual {:.3e}\n",
+        baseline[0].converged,
+        baseline[0].vcycles,
+        baseline[0].final_residual()
+    );
+
+    println!("process transport (uds datagrams + seeded loss, thread equivalence):");
+    let clean = process_leg(seed, None, child_args, &base_hist);
+    let kill_leg = kill.map(|v| {
+        println!("\nprocess kill + checkpoint rejoin (SIGKILL rank {v} at V-cycle 3):");
+        process_leg(seed, Some(v), child_args, &base_hist)
+    });
+
+    let ok = clean["ok"] == true && kill_leg.as_ref().map_or(true, |k| k["ok"] == true);
+    println!(
+        "\nprocess chaos verdict: clean={} kill={} → {}",
+        clean["ok"],
+        kill_leg
+            .as_ref()
+            .map_or("skipped".to_string(), |k| k["ok"].to_string()),
+        if ok { "OK" } else { "NOT OK" }
+    );
+    let baseline_v = json!({
+        "converged": baseline[0].converged,
+        "vcycles": baseline[0].vcycles,
+        "final_residual": baseline[0].final_residual(),
+    });
+    json!({
+        "seed": seed,
+        "mode": "process",
+        "baseline": baseline_v,
+        "clean": clean,
+        "kill": kill_leg.unwrap_or(Value::Null),
+        "ok": ok,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +510,43 @@ mod tests {
         let v = kill_run(11);
         assert_eq!(v["structured_failure"], true, "{v}");
         assert_eq!(v["killed_rank_reported"], true, "{v}");
+    }
+
+    #[cfg(unix)]
+    const CHILD_ARGS: &[&str] = &["chaos_child_entry", "--test-threads=1", "--nocapture"];
+
+    /// The hook a spawned copy of this test binary lands in (the process
+    /// controller passes a libtest filter selecting exactly this test).
+    /// In a normal run it is an instant no-op.
+    #[cfg(unix)]
+    #[test]
+    fn chaos_child_entry() {
+        gmg_comm::process::run_child_if_spawned(|entry, mut ctx, args| match entry {
+            "elastic" => elastic_child(&mut ctx, args),
+            other => panic!("unknown chaos process entry {other:?}"),
+        });
+    }
+
+    /// The milestone's acceptance demo end to end: real processes over
+    /// datagrams with seeded loss, SIGKILL rank 3 mid-solve, respawn +
+    /// checkpoint rejoin, bit-identical history vs the thread world, and
+    /// a merged-flight postmortem naming the killed rank.
+    #[cfg(unix)]
+    #[test]
+    fn process_campaign_kill_and_rejoin_names_culprit() {
+        let v = run_process_campaign_with(3, Some(3), CHILD_ARGS);
+        assert_eq!(v["ok"], true, "{v}");
+        assert_eq!(v["clean"]["exact_match"], true, "{v}");
+        let kill = &v["kill"];
+        assert_eq!(kill["exact_match"], true, "{v}");
+        assert_eq!(kill["rejoins"].as_u64(), Some(1), "{v}");
+        assert_eq!(kill["culprit_named"], true, "{v}");
+        let pm = std::path::PathBuf::from(kill["postmortem"].as_str().unwrap());
+        let md = std::fs::read_to_string(&pm).unwrap();
+        assert!(md.contains("Culprit: rank 3"), "{md}");
+        if let Some(dir) = pm.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 
     /// The fused multi-smooth executor must compose with checkpoint /

@@ -31,15 +31,18 @@ use serde_json::{json, Value};
 use std::path::Path;
 use std::time::Duration;
 
+/// The last operation a rank's ring recorded.
+fn last_op(logs: &[RankLog], rank: usize) -> String {
+    logs.iter()
+        .find(|l| l.rank == rank)
+        .and_then(|l| l.events.last())
+        .map(|e| format!("{} ({})", e.op, e.kind.name()))
+        .unwrap_or_else(|| "(empty ring)".to_string())
+}
+
 /// The culprit rank and what it was last seen doing.
 fn culprit(logs: &[RankLog], waits: &WaitAnalysis) -> (usize, String) {
-    let last_op = |rank: usize| -> String {
-        logs.iter()
-            .find(|l| l.rank == rank)
-            .and_then(|l| l.events.last())
-            .map(|e| format!("{} ({})", e.op, e.kind.name()))
-            .unwrap_or_else(|| "(empty ring)".to_string())
-    };
+    let last_op = |rank: usize| last_op(logs, rank);
     // An injected kill is definitive.
     if let Some(&r) = WaitAnalysis::killed_ranks(logs).first() {
         return (r, last_op(r));
@@ -155,6 +158,7 @@ fn render_report(
     waits: &WaitAnalysis,
     culprit_rank: usize,
     culprit_op: &str,
+    cause: Option<&str>,
     path: &CriticalPath,
 ) -> String {
     let mut md = String::new();
@@ -173,6 +177,9 @@ fn render_report(
     ));
     if killed.contains(&culprit_rank) {
         md.push_str(" — recorded an injected kill");
+    }
+    if let Some(cause) = cause {
+        md.push_str(&format!(" — {cause}"));
     }
     md.push_str(".\n\n");
     for log in &bundle.logs {
@@ -206,16 +213,38 @@ fn render_report(
 /// Analyze a dump directory in place: classify waits, name the culprit,
 /// write `postmortem.md` + `postmortem_trace.json` beside the ring data.
 pub fn analyze_dump(dir: &Path) -> Value {
+    analyze_dump_with(dir, None)
+}
+
+/// Like [`analyze_dump`], but with an authoritative culprit the caller
+/// already knows (e.g. the membership controller SIGKILLed that rank
+/// itself): the rank overrides the wait-state heuristics and `cause` is
+/// quoted verbatim on the report's Culprit line.
+pub fn analyze_dump_with(dir: &Path, known: Option<(usize, &str)>) -> Value {
     let bundle = match load_dump(dir) {
         Ok(b) => b,
         Err(e) => return json!({ "ok": false, "error": format!("load {}: {e}", dir.display()) }),
     };
     let waits = analyze(&bundle.logs);
-    let (culprit_rank, culprit_op) = culprit(&bundle.logs, &waits);
+    let (culprit_rank, culprit_op, cause) = match known {
+        Some((r, cause)) => (r, last_op(&bundle.logs, r), Some(cause)),
+        None => {
+            let (r, op) = culprit(&bundle.logs, &waits);
+            (r, op, None)
+        }
+    };
     let (medges, flows) = exact_edges(&waits);
     let trace = rebuild_trace(&bundle.logs);
     let path = critical_path_with_edges(&trace, &medges);
-    let md = render_report(dir, &bundle, &waits, culprit_rank, &culprit_op, &path);
+    let md = render_report(
+        dir,
+        &bundle,
+        &waits,
+        culprit_rank,
+        &culprit_op,
+        cause,
+        &path,
+    );
     let report_path = dir.join("postmortem.md");
     let trace_path = dir.join("postmortem_trace.json");
     let wrote = std::fs::write(&report_path, &md)

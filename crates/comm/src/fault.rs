@@ -51,6 +51,12 @@ pub enum CommError {
     },
     /// This rank was killed by fault injection.
     Killed { rank: usize, at_op: u64 },
+    /// A received frame failed to decode (socket transports only).
+    Frame { err: crate::frame::FrameError },
+    /// The membership controller parked this rank for an epoch change
+    /// (a peer died and is being respawned). Recoverable: call
+    /// [`crate::RankCtx::park_for_rejoin`] and resume from checkpoint.
+    Parked { epoch: u64 },
 }
 
 impl fmt::Display for CommError {
@@ -81,6 +87,10 @@ impl fmt::Display for CommError {
                     f,
                     "rank {rank} killed by fault injection at comm op {at_op}"
                 )
+            }
+            CommError::Frame { err } => write!(f, "frame decode failed: {err}"),
+            CommError::Parked { epoch } => {
+                write!(f, "parked for membership epoch {epoch}")
             }
         }
     }
@@ -329,6 +339,83 @@ impl FaultPlan {
             control_ops: 0,
             stalled: false,
         }
+    }
+
+    /// Serialize for handoff to spawned rank processes via an environment
+    /// variable. Rates travel as `f64::to_bits` hex so the child's seeded
+    /// fate draws are bit-identical to the parent's.
+    pub fn to_env_string(&self) -> String {
+        let c = &self.config;
+        let r = &self.retry;
+        let mut s = format!(
+            "drop={:x};dup={:x};delay={:x};slots={};corrupt={:x};sdc={:x};seed={};\
+             attempts={};backoff_ns={};op_ns={};drain_ns={}",
+            c.drop_rate.to_bits(),
+            c.duplicate_rate.to_bits(),
+            c.delay_rate.to_bits(),
+            c.max_delay_slots,
+            c.corrupt_rate.to_bits(),
+            c.sdc_rate.to_bits(),
+            self.seed,
+            r.max_attempts,
+            r.backoff_base.as_nanos(),
+            r.op_timeout.as_nanos(),
+            r.drain_timeout.as_nanos(),
+        );
+        if let Some((spec, d)) = &c.stall {
+            s.push_str(&format!(
+                ";stall={},{},{}",
+                spec.rank,
+                spec.at_op,
+                d.as_nanos()
+            ));
+        }
+        if let Some(spec) = &c.kill {
+            s.push_str(&format!(";kill={},{}", spec.rank, spec.at_op));
+        }
+        s
+    }
+
+    /// Inverse of [`FaultPlan::to_env_string`]. `None` on any malformed
+    /// field — callers treat that as "no plan installed".
+    pub fn from_env_string(s: &str) -> Option<FaultPlan> {
+        let mut plan = FaultPlan::new(FaultConfig::default(), 0);
+        for kv in s.split(';') {
+            let (k, v) = kv.split_once('=')?;
+            let c = &mut plan.config;
+            let r = &mut plan.retry;
+            match k {
+                "drop" => c.drop_rate = f64::from_bits(u64::from_str_radix(v, 16).ok()?),
+                "dup" => c.duplicate_rate = f64::from_bits(u64::from_str_radix(v, 16).ok()?),
+                "delay" => c.delay_rate = f64::from_bits(u64::from_str_radix(v, 16).ok()?),
+                "slots" => c.max_delay_slots = v.parse().ok()?,
+                "corrupt" => c.corrupt_rate = f64::from_bits(u64::from_str_radix(v, 16).ok()?),
+                "sdc" => c.sdc_rate = f64::from_bits(u64::from_str_radix(v, 16).ok()?),
+                "seed" => plan.seed = v.parse().ok()?,
+                "attempts" => r.max_attempts = v.parse().ok()?,
+                "backoff_ns" => r.backoff_base = Duration::from_nanos(v.parse().ok()?),
+                "op_ns" => r.op_timeout = Duration::from_nanos(v.parse().ok()?),
+                "drain_ns" => r.drain_timeout = Duration::from_nanos(v.parse().ok()?),
+                "stall" => {
+                    let mut it = v.split(',');
+                    let spec = ControlSpec {
+                        rank: it.next()?.parse().ok()?,
+                        at_op: it.next()?.parse().ok()?,
+                    };
+                    let ns: u64 = it.next()?.parse().ok()?;
+                    c.stall = Some((spec, Duration::from_nanos(ns)));
+                }
+                "kill" => {
+                    let mut it = v.split(',');
+                    c.kill = Some(ControlSpec {
+                        rank: it.next()?.parse().ok()?,
+                        at_op: it.next()?.parse().ok()?,
+                    });
+                }
+                _ => return None,
+            }
+        }
+        Some(plan)
     }
 }
 

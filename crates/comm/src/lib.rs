@@ -21,13 +21,31 @@
 //!   [`CommError`] / [`WorldFailure`] vocabulary; the runtime's reliable
 //!   protocol (sequence numbers, checksums, ACK + bounded retransmission)
 //!   absorbs the recoverable faults and reports the rest structurally.
+//! * [`transport`] / [`frame`] / [`socket`] / [`process`] — the runtime's
+//!   `Transport` abstraction and its two backends: the original
+//!   in-process channels (`ThreadTransport`) and a one-OS-process-per-rank
+//!   backend over Unix-domain-socket datagrams (TCP fallback, selected by
+//!   `GMG_TRANSPORT=uds|tcp`) with a checksummed, fragmenting frame codec.
+//!   `process` adds the elastic-membership controller: heartbeat failure
+//!   detection, respawn, and checkpoint-based rank rejoin.
 
 pub mod fault;
+pub mod frame;
 pub mod model;
 pub mod plan;
+#[cfg(unix)]
+pub mod process;
 pub mod runtime;
+#[cfg(unix)]
+pub mod socket;
+pub(crate) mod transport;
 
 pub use fault::{CommError, FaultConfig, FaultPlan, RankFailure, RetryPolicy, WorldFailure};
+pub use frame::{Frame, FrameError, FrameKind};
 pub use model::{NetworkModel, Protocol};
 pub use plan::{ArrayExchangePlan, BrickExchangePlan};
+#[cfg(unix)]
+pub use process::{ProcessReport, ProcessWorld, RejoinEvent};
 pub use runtime::{exchange_array, exchange_bricked, RankCtx, RankWorld};
+#[cfg(unix)]
+pub use socket::{SocketKind, SocketTransport};

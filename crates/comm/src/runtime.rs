@@ -36,7 +36,7 @@ use std::collections::HashMap;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::unbounded;
 use gmg_brick::BrickedField;
 use gmg_mesh::ghost::{direction_index, DIRECTIONS_26};
 use gmg_mesh::{Array3, Box3, Decomposition, Point3};
@@ -46,26 +46,10 @@ use crate::fault::{
     checksum, flip_bit, CommError, ControlFault, FaultInjector, FaultPlan, RankFailure,
     RetryPolicy, WorldFailure,
 };
+use crate::transport::{ThreadTransport, Transport, Wire};
 
 /// Reserved tag space for collectives; user tags must stay below this.
-const COLLECTIVE_TAG: u64 = u64::MAX - 1024;
-
-/// What actually travels over a channel.
-#[derive(Clone, Debug)]
-enum Wire {
-    /// A payload message. `seq` is per-sender monotone; `checksum` covers
-    /// `(src, tag, seq, payload)`.
-    Data {
-        src: usize,
-        tag: u64,
-        seq: u64,
-        checksum: u64,
-        payload: Vec<f64>,
-    },
-    /// Acknowledges receipt of the sender's `seq`. `src` is the ACKing
-    /// rank.
-    Ack { src: usize, seq: u64 },
-}
+pub(crate) const COLLECTIVE_TAG: u64 = u64::MAX - 1024;
 
 /// An unACKed reliable send, kept for retransmission.
 struct PendingSend {
@@ -93,8 +77,7 @@ struct DelayedWire {
 pub struct RankCtx {
     rank: usize,
     nranks: usize,
-    peers: Vec<Sender<Wire>>,
-    inbox: Receiver<Wire>,
+    transport: Box<dyn Transport>,
     /// Messages received but not yet matched: `(src, tag, seq, payload)`.
     stash: Vec<(usize, u64, u64, Vec<f64>)>,
     /// Next outgoing sequence number (assigned in both modes so the
@@ -112,9 +95,45 @@ pub struct RankCtx {
     /// Set when this rank is killed by fault injection: suppresses the
     /// drop-time drain so peers observe a hard failure.
     dead: bool,
+    /// Elastic-membership client (multi-process worlds only).
+    #[cfg(unix)]
+    pub(crate) membership: Option<crate::process::MembershipClient>,
 }
 
 impl RankCtx {
+    /// Assemble a context over an arbitrary transport (used by the
+    /// thread world below and by `process` child bootstrap).
+    pub(crate) fn from_parts(
+        rank: usize,
+        nranks: usize,
+        transport: Box<dyn Transport>,
+        injector: Option<FaultInjector>,
+        retry: RetryPolicy,
+    ) -> Self {
+        RankCtx {
+            rank,
+            nranks,
+            transport,
+            stash: Vec::new(),
+            next_seq: 0,
+            seen: HashSet::new(),
+            ack_attempts: HashMap::new(),
+            pending: Vec::new(),
+            delayed: Vec::new(),
+            injector,
+            retry,
+            dead: false,
+            #[cfg(unix)]
+            membership: None,
+        }
+    }
+
+    /// Which transport backend this rank speaks (`"thread"`, `"uds"`,
+    /// `"tcp"`).
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
+    }
+
     /// This rank's id.
     pub fn rank(&self) -> usize {
         self.rank
@@ -194,14 +213,18 @@ impl RankCtx {
         self.next_seq += 1;
         gmg_flight::record_send(to, tag, seq, (payload.len() * 8) as u64);
         if !self.reliable() {
-            return self.peers[to]
-                .send(Wire::Data {
-                    src: self.rank,
-                    tag,
-                    seq,
-                    checksum: 0,
-                    payload,
-                })
+            return self
+                .transport
+                .send(
+                    to,
+                    Wire::Data {
+                        src: self.rank,
+                        tag,
+                        seq,
+                        checksum: 0,
+                        payload,
+                    },
+                )
                 .map_err(|_| CommError::Disconnected { peer: to });
         }
         self.pending.push(PendingSend {
@@ -295,14 +318,22 @@ impl RankCtx {
                         + self.retry.backoff_base * (fate.delay_slots + 1),
                 });
             } else {
-                let _ = self.peers[to].send(wire.clone());
+                let _ = self.transport.send(to, wire.clone());
             }
         }
     }
 
-    /// Drive protocol progress: release due delayed wires and retransmit
-    /// overdue unACKed sends. No-op in fault-free mode.
+    /// Drive protocol progress: backend housekeeping, membership-park
+    /// polling, then (reliable mode only) release due delayed wires and
+    /// retransmit overdue unACKed sends.
     fn pump(&mut self) -> Result<(), CommError> {
+        self.transport.pump();
+        #[cfg(unix)]
+        if let Some(m) = self.membership.as_mut() {
+            if let Some(epoch) = m.poll_park() {
+                return Err(CommError::Parked { epoch });
+            }
+        }
         if !self.reliable() {
             return Ok(());
         }
@@ -314,7 +345,7 @@ impl RankCtx {
                 || now >= self.delayed[i].release_at_time
             {
                 let d = self.delayed.swap_remove(i);
-                let _ = self.peers[d.to].send(d.wire);
+                let _ = self.transport.send(d.to, d.wire);
             } else {
                 i += 1;
             }
@@ -381,10 +412,13 @@ impl RankCtx {
                 if drop_ack {
                     self.fault_event("fault:ack-drop", Some(src), None);
                 } else {
-                    let _ = self.peers[src].send(Wire::Ack {
-                        src: self.rank,
-                        seq,
-                    });
+                    let _ = self.transport.send(
+                        src,
+                        Wire::Ack {
+                            src: self.rank,
+                            seq,
+                        },
+                    );
                 }
                 if !self.seen.insert((src, seq)) {
                     self.fault_event("fault:dedup", Some(src), Some(tag));
@@ -437,7 +471,7 @@ impl RankCtx {
     pub fn try_recv(&mut self, from: usize, tag: u64) -> Result<Option<Vec<f64>>, CommError> {
         self.check_control()?;
         self.pump()?;
-        while let Ok(w) = self.inbox.try_recv() {
+        while let Ok(Some(w)) = self.transport.recv(Some(Duration::ZERO)) {
             if let Some(m) = self.handle_wire(w) {
                 self.stash.push(m);
             }
@@ -510,6 +544,10 @@ impl RankCtx {
         // the matching send may be gone for good (killed peer, exhausted
         // retries elsewhere). Fault-free receives keep the original
         // indefinite-blocking semantics.
+        //
+        // The deadline is computed exactly once, before the wait loop:
+        // stashing a steady stream of mismatched messages must consume
+        // the wait budget, never reset it.
         let deadline = deadline.or_else(|| {
             self.reliable()
                 .then(|| Instant::now() + self.retry.op_timeout)
@@ -517,24 +555,21 @@ impl RankCtx {
         let start = Instant::now();
         loop {
             self.pump()?;
-            let got = if self.reliable() || deadline.is_some() {
-                // Short slices keep the retransmission pump live while
-                // blocked.
+            let got = if self.reliable() || deadline.is_some() || self.membership_active() {
+                // Short slices keep the retransmission pump (and the
+                // membership poll) live while blocked.
                 let mut slice = Duration::from_millis(1);
                 if let Some(d) = deadline {
                     slice = slice.min(d.saturating_duration_since(Instant::now()));
                 }
-                match self.inbox.recv_timeout(slice) {
-                    Ok(w) => Some(w),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return Err(CommError::Disconnected { peer: from })
-                    }
+                match self.transport.recv(Some(slice)) {
+                    Ok(w) => w,
+                    Err(()) => return Err(CommError::Disconnected { peer: from }),
                 }
             } else {
-                match self.inbox.recv() {
-                    Ok(w) => Some(w),
-                    Err(_) => return Err(CommError::Disconnected { peer: from }),
+                match self.transport.recv(None) {
+                    Ok(w) => w,
+                    Err(()) => return Err(CommError::Disconnected { peer: from }),
                 }
             };
             if let Some(w) = got {
@@ -558,36 +593,164 @@ impl RankCtx {
 
     /// Max-reduction over one value per rank, result on every rank.
     pub fn allreduce_max(&mut self, v: f64) -> f64 {
-        self.allreduce(v, f64::max)
+        match self.try_allreduce_max(v) {
+            Ok(r) => r,
+            Err(e) => panic!("comm failure: {e}"),
+        }
     }
 
     /// Sum-reduction over one value per rank, result on every rank.
     pub fn allreduce_sum(&mut self, v: f64) -> f64 {
+        match self.try_allreduce_sum(v) {
+            Ok(r) => r,
+            Err(e) => panic!("comm failure: {e}"),
+        }
+    }
+
+    /// Fallible max-reduction (elastic solvers recover from
+    /// [`CommError::Parked`] instead of panicking).
+    pub fn try_allreduce_max(&mut self, v: f64) -> Result<f64, CommError> {
+        self.allreduce(v, f64::max)
+    }
+
+    /// Fallible sum-reduction.
+    pub fn try_allreduce_sum(&mut self, v: f64) -> Result<f64, CommError> {
         self.allreduce(v, |a, b| a + b)
     }
 
-    fn allreduce(&mut self, v: f64, combine: impl Fn(f64, f64) -> f64) -> f64 {
+    fn allreduce(&mut self, v: f64, combine: impl Fn(f64, f64) -> f64) -> Result<f64, CommError> {
         // Gather to rank 0, reduce, broadcast. O(P) but P is small here.
         let tag = COLLECTIVE_TAG;
         if self.rank == 0 {
             let mut acc = v;
             for r in 1..self.nranks {
-                let m = self.recv(r, tag);
+                let m = self.recv_traced(r, tag, None)?;
                 acc = combine(acc, m[0]);
             }
             for r in 1..self.nranks {
-                self.send(r, tag + 1, vec![acc]);
+                self.try_send(r, tag + 1, vec![acc])?;
             }
-            acc
+            Ok(acc)
         } else {
-            self.send(0, tag, vec![v]);
-            self.recv(0, tag + 1)[0]
+            self.try_send(0, tag, vec![v])?;
+            Ok(self.recv_traced(0, tag + 1, None)?[0])
         }
     }
 
     /// Barrier: everyone waits until all ranks arrive.
     pub fn barrier(&mut self) {
         self.allreduce_sum(0.0);
+    }
+
+    // -----------------------------------------------------------------
+    // Elastic membership (multi-process worlds)
+    // -----------------------------------------------------------------
+
+    /// Whether this rank runs under a membership controller (one OS
+    /// process per rank) that can park the world and rejoin dead ranks.
+    pub fn membership_active(&self) -> bool {
+        #[cfg(unix)]
+        {
+            self.membership.is_some()
+        }
+        #[cfg(not(unix))]
+        {
+            false
+        }
+    }
+
+    /// Whether this process is a respawned replacement for a dead rank
+    /// (it must restore from checkpoint before touching the data plane).
+    pub fn membership_rejoining(&self) -> bool {
+        #[cfg(unix)]
+        {
+            self.membership.as_ref().is_some_and(|m| m.rejoining())
+        }
+        #[cfg(not(unix))]
+        {
+            false
+        }
+    }
+
+    /// Directory where rejoin checkpoints live, when membership is on.
+    pub fn checkpoint_dir(&self) -> Option<std::path::PathBuf> {
+        #[cfg(unix)]
+        {
+            self.membership.as_ref().map(|m| m.ckpt_dir().to_path_buf())
+        }
+        #[cfg(not(unix))]
+        {
+            None
+        }
+    }
+
+    /// Report solve progress (latest completed cycle) to the heartbeat,
+    /// so the controller can observe a live solve. No-op without
+    /// membership.
+    pub fn membership_progress(&self, cycle: u64) {
+        #[cfg(unix)]
+        if let Some(m) = &self.membership {
+            m.set_progress(cycle);
+        }
+        #[cfg(not(unix))]
+        let _ = cycle;
+    }
+
+    /// Park at the membership barrier after a [`CommError::Parked`] (or
+    /// any comm failure while a controller is reconfiguring the world):
+    /// reports the latest locally checkpointed cycle, waits for the
+    /// world-wide `RESUME`, fences off the old epoch, and returns
+    /// `(new_epoch, resume_cycle)`. Panics if the controller is gone.
+    pub fn park_for_rejoin(&mut self, ckpt_cycle: i64) -> (u64, u64) {
+        #[cfg(unix)]
+        {
+            let m = self
+                .membership
+                .as_mut()
+                .expect("park_for_rejoin requires an active membership controller");
+            let (epoch, resume_cycle) = m.park_and_await_resume(ckpt_cycle);
+            self.begin_epoch(epoch);
+            (epoch, resume_cycle)
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = ckpt_cycle;
+            unreachable!("membership is unix-only")
+        }
+    }
+
+    /// Rejoined-rank variant of [`RankCtx::park_for_rejoin`]: announces
+    /// readiness (state restored up to `ckpt_cycle`, `-1` for none) and
+    /// waits for the `RESUME` that readmits this rank.
+    pub fn rejoin_ready(&mut self, ckpt_cycle: i64) -> (u64, u64) {
+        #[cfg(unix)]
+        {
+            let m = self
+                .membership
+                .as_mut()
+                .expect("rejoin_ready requires an active membership controller");
+            let (epoch, resume_cycle) = m.ready_and_await_resume(ckpt_cycle);
+            self.begin_epoch(epoch);
+            (epoch, resume_cycle)
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = ckpt_cycle;
+            unreachable!("membership is unix-only")
+        }
+    }
+
+    /// Fence off a finished epoch: unmatched stashes, in-flight ARQ
+    /// state, and dedup history all belong to the pre-park world and are
+    /// discarded; the transport drops any wire still carrying an older
+    /// epoch number.
+    fn begin_epoch(&mut self, epoch: u64) {
+        self.stash.clear();
+        self.pending.clear();
+        self.delayed.clear();
+        self.seen.clear();
+        self.ack_attempts.clear();
+        self.transport.set_epoch(epoch);
     }
 }
 
@@ -621,15 +784,15 @@ impl Drop for RankCtx {
                 self.pending.retain(|p| !(p.to == to && p.seq == seq));
                 continue;
             }
-            match self.inbox.recv_timeout(Duration::from_millis(1)) {
-                Ok(w) => {
+            match self.transport.recv(Some(Duration::from_millis(1))) {
+                Ok(Some(w)) => {
                     last_activity = Instant::now();
                     // Late deliveries are ACKed (inside handle_wire) and
                     // then discarded — no one will read them here.
                     let _ = self.handle_wire(w);
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                Ok(None) => {}
+                Err(()) => break,
             }
         }
     }
@@ -638,6 +801,9 @@ impl Drop for RankCtx {
 /// The world: spawns `nranks` threads, each running `body`, and collects
 /// their results in rank order.
 pub struct RankWorld;
+
+#[cfg(unix)]
+static SOCK_WORLD_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl RankWorld {
     /// Run `body(ctx)` on every rank concurrently and return the per-rank
@@ -674,6 +840,39 @@ impl RankWorld {
         Self::run_under(nranks, Some(plan), body)
     }
 
+    /// Like [`RankWorld::run_with_faults`], but the ranks speak through
+    /// real socket transports (still one thread per rank, in-process).
+    /// Because fault injection happens above the transport, the same
+    /// seeded plan produces the same wire fates here as on the thread
+    /// backend — this is the equivalence harness the transport proptests
+    /// lean on.
+    #[cfg(unix)]
+    pub fn run_socket_with_faults<T: Send>(
+        nranks: usize,
+        kind: crate::socket::SocketKind,
+        plan: &FaultPlan,
+        body: impl Fn(RankCtx) -> T + Sync,
+    ) -> Result<Vec<T>, WorldFailure> {
+        let dir = std::env::temp_dir().join(format!(
+            "gmg-sockworld-{}-{}",
+            std::process::id(),
+            SOCK_WORLD_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("socket world dir");
+        let transports: Vec<Box<dyn Transport>> = match kind {
+            crate::socket::SocketKind::Uds => {
+                crate::socket::uds_world(&dir, nranks).expect("uds world")
+            }
+            crate::socket::SocketKind::Tcp => crate::socket::tcp_world(nranks).expect("tcp world"),
+        }
+        .into_iter()
+        .map(|t| Box::new(t) as Box<dyn Transport>)
+        .collect();
+        let out = Self::run_over(transports, Some(plan), body);
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }
+
     fn run_under<T: Send>(
         nranks: usize,
         plan: Option<&FaultPlan>,
@@ -687,8 +886,29 @@ impl RankWorld {
             senders.push(tx);
             receivers.push(rx);
         }
+        let transports = receivers
+            .into_iter()
+            .map(|inbox| {
+                Box::new(ThreadTransport {
+                    peers: senders.clone(),
+                    inbox,
+                }) as Box<dyn Transport>
+            })
+            .collect();
+        Self::run_over(transports, plan, body)
+    }
+
+    /// Run every rank over a thread of its own, each speaking through the
+    /// given transport backend. The thread world and the in-process
+    /// socket worlds share this harness, so trace capture, flight rings,
+    /// and structured failure collection behave identically on both.
+    fn run_over<T: Send>(
+        transports: Vec<Box<dyn Transport>>,
+        plan: Option<&FaultPlan>,
+        body: impl Fn(RankCtx) -> T + Sync,
+    ) -> Result<Vec<T>, WorldFailure> {
+        let nranks = transports.len();
         let body = &body;
-        let senders_ref = &senders;
         let trace_scope = gmg_trace::current_scope();
         let trace_scope_ref = &trace_scope;
         // One flight-recorder ring per rank, alive for the whole run so a
@@ -697,25 +917,17 @@ impl RankWorld {
         let flight_ref = &flight;
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(nranks);
-            for (rank, inbox) in receivers.into_iter().enumerate() {
+            for (rank, transport) in transports.into_iter().enumerate() {
                 handles.push(s.spawn(move || {
                     let _trace = trace_scope_ref.as_ref().map(|sc| sc.install());
                     let _flight = flight_ref.as_ref().map(|w| gmg_flight::install(w, rank));
-                    let ctx = RankCtx {
+                    let ctx = RankCtx::from_parts(
                         rank,
                         nranks,
-                        peers: senders_ref.to_vec(),
-                        inbox,
-                        stash: Vec::new(),
-                        next_seq: 0,
-                        seen: HashSet::new(),
-                        ack_attempts: HashMap::new(),
-                        pending: Vec::new(),
-                        delayed: Vec::new(),
-                        injector: plan.map(|p| p.injector(rank)),
-                        retry: plan.map(|p| p.retry).unwrap_or_default(),
-                        dead: false,
-                    };
+                        transport,
+                        plan.map(|p| p.injector(rank)),
+                        plan.map(|p| p.retry).unwrap_or_default(),
+                    );
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(ctx)))
                 }));
             }
@@ -788,13 +1000,28 @@ fn halo_tag(tag_base: u64, dir: Point3) -> u64 {
 
 /// The paper's `exchange()` for bricked fields: fill every ghost brick of
 /// `field` from the owning neighbor under `decomp`, using whole-brick
-/// messages in deterministic (lexicographic) brick order.
+/// messages in deterministic (lexicographic) brick order. Panicking
+/// wrapper around [`try_exchange_bricked`].
 pub fn exchange_bricked(
     ctx: &mut RankCtx,
     decomp: &Decomposition,
     field: &mut BrickedField,
     tag_base: u64,
 ) {
+    if let Err(e) = try_exchange_bricked(ctx, decomp, field, tag_base) {
+        panic!("comm failure: {e}");
+    }
+}
+
+/// Fallible [`exchange_bricked`]: comm failures (including the membership
+/// controller's [`CommError::Parked`]) surface as errors so an elastic
+/// solver can park and rejoin instead of tearing the process down.
+pub fn try_exchange_bricked(
+    ctx: &mut RankCtx,
+    decomp: &Decomposition,
+    field: &mut BrickedField,
+    tag_base: u64,
+) -> Result<(), CommError> {
     let rank = ctx.rank();
     let layout = field.layout().clone();
     let bd = layout.brick_dim();
@@ -816,7 +1043,7 @@ pub fn exchange_bricked(
             ..Default::default()
         });
         drop(sp);
-        ctx.send(nbr.rank, halo_tag(tag_base, dir), buf);
+        ctx.try_send(nbr.rank, halo_tag(tag_base, dir), buf)?;
     }
     for dir in DIRECTIONS_26 {
         let nbr = decomp.neighbor(rank, dir);
@@ -829,7 +1056,7 @@ pub fn exchange_bricked(
         }
         // My ghost in direction `dir` comes from the neighbor's send in
         // direction `-dir` (its direction toward me).
-        let payload = ctx.recv(nbr.rank, halo_tag(tag_base, -dir));
+        let payload = ctx.recv_traced(nbr.rank, halo_tag(tag_base, -dir), None)?;
         let mut sp = gmg_trace::span(rank, LEVEL_NONE, "unpack", Track::Comm);
         let ghosts = layout.ghost_slots(dir);
         assert_eq!(
@@ -849,6 +1076,7 @@ pub fn exchange_bricked(
             ..Default::default()
         });
     }
+    Ok(())
 }
 
 /// The conventional `exchange()` for `Array3` fields with pack/unpack
@@ -1365,5 +1593,122 @@ mod tests {
                 .unwrap();
         let b = RankWorld::run(3, |mut ctx| ctx.allreduce_sum(ctx.rank() as f64));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recv_timeout_deadline_holds_under_continuous_mismatched_traffic() {
+        // Regression guard: the wait deadline is computed *once*. A
+        // steady stream of non-matching messages (each of which wakes
+        // the receive loop) must neither extend the timeout nor lose a
+        // single stashed message.
+        let out = RankWorld::run(2, |mut ctx| {
+            if ctx.rank() == 0 {
+                let start = Instant::now();
+                let mut i = 0u64;
+                while start.elapsed() < Duration::from_millis(400) {
+                    ctx.send(1, 500 + (i % 7), vec![i as f64]);
+                    i += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                ctx.send(1, 999, vec![-1.0]);
+                i as f64
+            } else {
+                let start = Instant::now();
+                let err = ctx.recv_timeout(0, 999_999, Duration::from_millis(150));
+                let waited = start.elapsed();
+                assert!(
+                    matches!(err, Err(CommError::Timeout { .. })),
+                    "expected a timeout, got {err:?}"
+                );
+                assert!(
+                    waited >= Duration::from_millis(140),
+                    "early return: {waited:?}"
+                );
+                assert!(
+                    waited < Duration::from_millis(390),
+                    "mismatched traffic restarted the deadline: {waited:?}"
+                );
+                // Every flooded message is stashed, none lost.
+                assert_eq!(ctx.recv(0, 999), vec![-1.0]);
+                let mut got = 0u64;
+                loop {
+                    let mut any = false;
+                    for t in 500..507 {
+                        if let Ok(Some(_)) = ctx.try_recv(0, t) {
+                            got += 1;
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+                got as f64
+            }
+        });
+        assert_eq!(out[0], out[1], "stashed count must equal the flood count");
+    }
+
+    /// Satellite for the transport split: the *same* seeded fault plan
+    /// drives the thread backend and the Unix-socket backend through
+    /// the same wire fates, and the ARQ layer must deliver bit-identical
+    /// payload sequences on both.
+    #[cfg(unix)]
+    #[test]
+    fn thread_and_socket_transports_deliver_identically_under_same_faults() {
+        const NRANKS: usize = 3;
+        const MSGS: u64 = 6;
+        let body = |mut ctx: RankCtx| {
+            let (me, n) = (ctx.rank(), ctx.nranks());
+            for to in (0..n).filter(|&to| to != me) {
+                for t in 0..MSGS {
+                    ctx.send(
+                        to,
+                        100 + t,
+                        vec![(me * 1000) as f64 + t as f64, t as f64 * 0.5],
+                    );
+                }
+            }
+            // Receive in a per-rank seeded shuffle, identical across
+            // backends, so "delivered order" is a meaningful sequence.
+            let mut order: Vec<(usize, u64)> = (0..n)
+                .filter(|&f| f != me)
+                .flat_map(|f| (0..MSGS).map(move |t| (f, 100 + t)))
+                .collect();
+            let mut s = me as u64 ^ 0x9e37_79b9_7f4a_7c15;
+            for i in (1..order.len()).rev() {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                order.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            order
+                .into_iter()
+                .map(|(f, t)| (f, t, ctx.recv(f, t)))
+                .collect::<Vec<_>>()
+        };
+        for seed in [1u64, 3, 7] {
+            let cfg = FaultConfig {
+                drop_rate: 0.08,
+                duplicate_rate: 0.05,
+                delay_rate: 0.05,
+                max_delay_slots: 3,
+                corrupt_rate: 0.03,
+                ..Default::default()
+            };
+            let plan = FaultPlan::new(cfg, seed);
+            let threads = RankWorld::run_with_faults(NRANKS, &plan, body).unwrap();
+            let sockets = RankWorld::run_socket_with_faults(
+                NRANKS,
+                crate::socket::SocketKind::Uds,
+                &plan,
+                body,
+            )
+            .unwrap();
+            assert_eq!(
+                threads, sockets,
+                "seed {seed}: both transports must deliver identical payload sequences"
+            );
+        }
     }
 }

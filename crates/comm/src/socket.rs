@@ -1,0 +1,630 @@
+//! Datagram socket transport: one OS process (or thread, in tests) per
+//! rank, talking [`crate::frame`]-encoded messages.
+//!
+//! Two wire flavors, selected by `GMG_TRANSPORT` (`uds`, the default, or
+//! `tcp`):
+//!
+//! * **Unix-domain datagram sockets** — each rank binds `d<rank>.sock`
+//!   in the world directory; a send is one `sendto` per frame. The
+//!   kernel preserves per-pair FIFO order but the medium is treated as
+//!   unreliable: a vanished peer (`ECONNREFUSED`/`ENOENT`) absorbs the
+//!   frame exactly like an injected drop, and the ARQ layer above
+//!   retransmits.
+//! * **TCP loopback** — length-prefixed frames over a full mesh
+//!   (rank *i* accepts from every *j > i*, connects to every *j < i*).
+//!   The fallback for platforms without datagram UDS; it does not
+//!   support elastic rejoin (listener ports die with their process).
+//!
+//! All sockets run nonblocking for sends with per-peer backlogs, so a
+//! world whose ranks all send before receiving (the 26-neighbor
+//! exchange) cannot deadlock on full kernel buffers: un-sendable frames
+//! queue locally and drain during every subsequent send/recv/pump call.
+//!
+//! Epoch fencing: every frame carries the sender's membership epoch.
+//! Frames from an older epoch (in-flight across a park/rejoin) are
+//! counted and dropped; frames from a newer epoch are held and replayed
+//! once this rank's own epoch catches up.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::UnixDatagram;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::frame::{self, Frame, FrameKind, Reassembler, MAX_FRAME_LEN};
+use crate::transport::{Transport, Wire};
+
+/// Which wire the socket transport rides on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketKind {
+    /// Unix-domain datagram sockets (the default).
+    Uds,
+    /// TCP over loopback (fallback; no elastic rejoin).
+    Tcp,
+}
+
+impl SocketKind {
+    /// Honor the `GMG_TRANSPORT` env hook: `tcp` selects the fallback,
+    /// anything else (including unset) the Unix-datagram default.
+    pub fn from_env() -> SocketKind {
+        match std::env::var("GMG_TRANSPORT").as_deref() {
+            Ok("tcp") => SocketKind::Tcp,
+            _ => SocketKind::Uds,
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SocketKind::Uds => "uds",
+            SocketKind::Tcp => "tcp",
+        }
+    }
+}
+
+/// Path of rank `r`'s data socket inside a world directory.
+pub fn data_sock_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("d{rank}.sock"))
+}
+
+/// One TCP peer link with its read/write staging.
+struct TcpPeer {
+    stream: TcpStream,
+    rdbuf: Vec<u8>,
+    wrbuf: VecDeque<u8>,
+}
+
+enum Imp {
+    Uds {
+        recv_sock: UnixDatagram,
+        send_sock: UnixDatagram,
+        peer_paths: Vec<PathBuf>,
+    },
+    Tcp {
+        listener: TcpListener,
+        peers: Vec<Option<TcpPeer>>,
+        /// Inbound connections whose 4-byte rank handshake is still
+        /// partial.
+        pending: Vec<(TcpStream, Vec<u8>)>,
+    },
+}
+
+/// The socket-backed [`Transport`].
+pub struct SocketTransport {
+    rank: usize,
+    epoch: u64,
+    imp: Imp,
+    /// Un-sendable frames, per destination (nonblocking sends).
+    backlog: Vec<VecDeque<Vec<u8>>>,
+    reasm: Reassembler,
+    /// Wires decoded ahead of delivery (epoch replay, TCP batching).
+    ready: VecDeque<Wire>,
+    /// Frames from a future epoch, replayed at `set_epoch`.
+    future: Vec<Frame>,
+    /// Malformed-frame count (dropped; the ARQ layer retransmits).
+    frame_errors: u64,
+}
+
+impl SocketTransport {
+    /// Bind rank `rank`'s Unix-datagram endpoint in `dir`. Peers may not
+    /// exist yet; sends to them drop until they bind (worlds barrier via
+    /// the controller's GO before first traffic).
+    pub fn uds(rank: usize, nranks: usize, dir: &Path) -> std::io::Result<SocketTransport> {
+        let path = data_sock_path(dir, rank);
+        // A respawned rank rebinds its predecessor's address.
+        let _ = std::fs::remove_file(&path);
+        let recv_sock = UnixDatagram::bind(&path)?;
+        let send_sock = UnixDatagram::unbound()?;
+        send_sock.set_nonblocking(true)?;
+        Ok(SocketTransport {
+            rank,
+            epoch: 0,
+            imp: Imp::Uds {
+                recv_sock,
+                send_sock,
+                peer_paths: (0..nranks).map(|r| data_sock_path(dir, r)).collect(),
+            },
+            backlog: (0..nranks).map(|_| VecDeque::new()).collect(),
+            reasm: Reassembler::default(),
+            ready: VecDeque::new(),
+            future: Vec::new(),
+            frame_errors: 0,
+        })
+    }
+
+    /// Bind a loopback listener for the TCP flavor; the port goes to the
+    /// controller's address map.
+    pub fn tcp_listener() -> std::io::Result<(TcpListener, u16)> {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        let port = l.local_addr()?.port();
+        l.set_nonblocking(true)?;
+        Ok((l, port))
+    }
+
+    /// Assemble the TCP flavor from this rank's listener and everyone's
+    /// ports: connect to every lower rank (they accept us), accept from
+    /// every higher rank lazily during `pump`.
+    pub fn tcp(
+        rank: usize,
+        listener: TcpListener,
+        ports: &[u16],
+    ) -> std::io::Result<SocketTransport> {
+        let nranks = ports.len();
+        let mut peers: Vec<Option<TcpPeer>> = (0..nranks).map(|_| None).collect();
+        for (r, &port) in ports.iter().enumerate().take(rank) {
+            let addr = SocketAddr::from(([127, 0, 0, 1], port));
+            let mut stream = connect_with_retry(addr, Duration::from_secs(5))?;
+            stream.write_all(&(rank as u32).to_le_bytes())?;
+            stream.set_nonblocking(true)?;
+            stream.set_nodelay(true)?;
+            peers[r] = Some(TcpPeer {
+                stream,
+                rdbuf: Vec::new(),
+                wrbuf: VecDeque::new(),
+            });
+        }
+        Ok(SocketTransport {
+            rank,
+            epoch: 0,
+            imp: Imp::Tcp {
+                listener,
+                peers,
+                pending: Vec::new(),
+            },
+            backlog: (0..nranks).map(|_| VecDeque::new()).collect(),
+            reasm: Reassembler::default(),
+            ready: VecDeque::new(),
+            future: Vec::new(),
+            frame_errors: 0,
+        })
+    }
+
+    /// Malformed frames seen (and dropped) so far.
+    pub fn frame_errors(&self) -> u64 {
+        self.frame_errors
+    }
+
+    /// Decode one raw frame buffer into the delivery pipeline.
+    fn ingest(&mut self, buf: &[u8]) {
+        let f = match Frame::decode(buf) {
+            Ok(f) => f,
+            Err(e) => {
+                self.frame_errors += 1;
+                gmg_flight::record_arq("frame:reject", None, None, None, 0);
+                if gmg_metrics::enabled() {
+                    gmg_metrics::counter("frame_decode_errors_total", self.rank, None, "frame")
+                        .inc();
+                }
+                let _ = e;
+                return;
+            }
+        };
+        if f.kind == FrameKind::Control {
+            // Control traffic rides dedicated membership sockets; a stray
+            // control frame on the data plane is dropped.
+            return;
+        }
+        if f.epoch < self.epoch {
+            if gmg_metrics::enabled() {
+                gmg_metrics::counter("epoch_fenced_frames_total", self.rank, None, "frame").inc();
+            }
+            return;
+        }
+        if f.epoch > self.epoch {
+            self.future.push(f);
+            return;
+        }
+        if let Some(w) = self.reasm.accept(f) {
+            self.ready.push_back(w);
+        }
+    }
+
+    /// Try to flush per-peer backlogs; non-fatal failures drop frames
+    /// (indistinguishable from wire loss, which the ARQ layer owns).
+    fn drain_backlog(&mut self) {
+        for to in 0..self.backlog.len() {
+            while let Some(front) = self.backlog[to].front() {
+                match self.imp.try_send_raw(to, front) {
+                    RawSend::Sent => {
+                        self.backlog[to].pop_front();
+                    }
+                    RawSend::Full => break,
+                    RawSend::Gone => {
+                        // Peer endpoint missing/dead: this frame is lost.
+                        self.backlog[to].pop_front();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ingest whatever is on the wire right now without blocking.
+    fn poll_wire(&mut self) {
+        // Collect first, then ingest: ingest needs `&mut self` wholly.
+        let mut bufs: Vec<Vec<u8>> = Vec::new();
+        match &mut self.imp {
+            Imp::Uds { recv_sock, .. } => {
+                let mut buf = vec![0u8; MAX_FRAME_LEN];
+                recv_sock.set_nonblocking(true).ok();
+                while let Ok(n) = recv_sock.recv(&mut buf) {
+                    bufs.push(buf[..n].to_vec());
+                }
+                recv_sock.set_nonblocking(false).ok();
+            }
+            Imp::Tcp {
+                listener,
+                peers,
+                pending,
+            } => {
+                // Accept inbound links and finish their rank handshakes.
+                while let Ok((s, _)) = listener.accept() {
+                    s.set_nonblocking(true).ok();
+                    s.set_nodelay(true).ok();
+                    pending.push((s, Vec::new()));
+                }
+                let mut i = 0;
+                while i < pending.len() {
+                    let (s, hs) = &mut pending[i];
+                    let mut b = [0u8; 4];
+                    match s.read(&mut b[..4 - hs.len()]) {
+                        Ok(0) => {
+                            pending.swap_remove(i);
+                            continue;
+                        }
+                        Ok(n) => hs.extend_from_slice(&b[..n]),
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                        Err(_) => {
+                            pending.swap_remove(i);
+                            continue;
+                        }
+                    }
+                    if hs.len() == 4 {
+                        let (s, hs) = pending.swap_remove(i);
+                        let r = u32::from_le_bytes(hs.try_into().unwrap()) as usize;
+                        if r < peers.len() {
+                            peers[r] = Some(TcpPeer {
+                                stream: s,
+                                rdbuf: Vec::new(),
+                                wrbuf: VecDeque::new(),
+                            });
+                        }
+                        continue;
+                    }
+                    i += 1;
+                }
+                // Read frames off every live link.
+                for p in peers.iter_mut().flatten() {
+                    let mut chunk = [0u8; 16 * 1024];
+                    loop {
+                        match p.stream.read(&mut chunk) {
+                            Ok(0) => break,
+                            Ok(n) => p.rdbuf.extend_from_slice(&chunk[..n]),
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                            Err(_) => break,
+                        }
+                    }
+                    // Parse length-prefixed records.
+                    let mut at = 0;
+                    while p.rdbuf.len() >= at + 4 {
+                        let len =
+                            u32::from_le_bytes(p.rdbuf[at..at + 4].try_into().unwrap()) as usize;
+                        if len > MAX_FRAME_LEN {
+                            // Corrupt stream framing: resync by dropping
+                            // the buffer; ARQ retransmits the contents.
+                            at = p.rdbuf.len();
+                            break;
+                        }
+                        if p.rdbuf.len() < at + 4 + len {
+                            break;
+                        }
+                        bufs.push(p.rdbuf[at + 4..at + 4 + len].to_vec());
+                        at += 4 + len;
+                    }
+                    p.rdbuf.drain(..at);
+                }
+            }
+        }
+        for b in bufs {
+            self.ingest(&b);
+        }
+    }
+
+    /// Block up to `slice` for at least one datagram, then ingest it.
+    fn wait_wire(&mut self, slice: Duration) {
+        let mut got: Option<Vec<u8>> = None;
+        match &mut self.imp {
+            Imp::Uds { recv_sock, .. } => {
+                let mut buf = vec![0u8; MAX_FRAME_LEN];
+                recv_sock
+                    .set_read_timeout(Some(slice.max(Duration::from_micros(100))))
+                    .ok();
+                if let Ok(n) = recv_sock.recv(&mut buf) {
+                    buf.truncate(n);
+                    got = Some(buf);
+                }
+            }
+            Imp::Tcp { .. } => {
+                // Nonblocking streams: poll-and-nap.
+                std::thread::sleep(slice.min(Duration::from_millis(1)));
+            }
+        }
+        if let Some(b) = got {
+            self.ingest(&b);
+        }
+    }
+}
+
+/// Outcome of one raw nonblocking send attempt.
+enum RawSend {
+    Sent,
+    Full,
+    Gone,
+}
+
+impl Imp {
+    fn try_send_raw(&mut self, to: usize, frame_bytes: &[u8]) -> RawSend {
+        match self {
+            Imp::Uds {
+                send_sock,
+                peer_paths,
+                ..
+            } => match send_sock.send_to(frame_bytes, &peer_paths[to]) {
+                Ok(_) => RawSend::Sent,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => RawSend::Full,
+                Err(_) => RawSend::Gone,
+            },
+            Imp::Tcp { peers, .. } => {
+                let Some(slot) = peers.get_mut(to) else {
+                    return RawSend::Gone;
+                };
+                let Some(mut p) = slot.take() else {
+                    // Not yet connected: keep queueing until the peer's
+                    // handshake lands (or forever, if it died — the
+                    // world's failure handling owns that).
+                    return RawSend::Full;
+                };
+                // Stage length-prefixed, then flush as much as the kernel
+                // takes.
+                p.wrbuf
+                    .extend((frame_bytes.len() as u32).to_le_bytes().iter().copied());
+                p.wrbuf.extend(frame_bytes.iter().copied());
+                loop {
+                    let (head, _) = p.wrbuf.as_slices();
+                    if head.is_empty() {
+                        break;
+                    }
+                    match p.stream.write(head) {
+                        Ok(0) => return RawSend::Gone, // link dead; p drops
+                        Ok(n) => {
+                            p.wrbuf.drain(..n);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(_) => return RawSend::Gone,
+                    }
+                }
+                *slot = Some(p);
+                RawSend::Sent
+            }
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn send(&mut self, to: usize, wire: Wire) -> Result<(), ()> {
+        for f in frame::encode_wire(&wire, to, self.epoch) {
+            self.backlog[to].push_back(f);
+        }
+        self.drain_backlog();
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Wire>, ()> {
+        let deadline = timeout.map(|d| Instant::now() + d);
+        loop {
+            self.drain_backlog();
+            self.poll_wire();
+            if let Some(w) = self.ready.pop_front() {
+                return Ok(Some(w));
+            }
+            let remaining = match deadline {
+                Some(d) => {
+                    let r = d.saturating_duration_since(Instant::now());
+                    if r == Duration::ZERO {
+                        return Ok(None);
+                    }
+                    r
+                }
+                // "Block forever" still slices internally so backlogged
+                // sends keep draining (no cross-rank send deadlock).
+                None => Duration::from_millis(20),
+            };
+            self.wait_wire(remaining.min(Duration::from_millis(20)));
+        }
+    }
+
+    fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.reasm = Reassembler::default();
+        self.ready.clear();
+        for b in &mut self.backlog {
+            b.clear();
+        }
+        let future = std::mem::take(&mut self.future);
+        for f in future {
+            // Re-run the epoch filter: matching frames deliver now,
+            // still-future ones wait again.
+            if f.epoch == self.epoch {
+                if let Some(w) = self.reasm.accept(f) {
+                    self.ready.push_back(w);
+                }
+            } else if f.epoch > self.epoch {
+                self.future.push(f);
+            }
+        }
+    }
+
+    fn pump(&mut self) {
+        self.drain_backlog();
+        self.poll_wire();
+    }
+
+    fn kind(&self) -> &'static str {
+        match self.imp {
+            Imp::Uds { .. } => "uds",
+            Imp::Tcp { .. } => "tcp",
+        }
+    }
+}
+
+fn connect_with_retry(addr: SocketAddr, budget: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + budget;
+    loop {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Bind a full in-process world of socket transports (tests and the
+/// equivalence proptests): all endpoints exist before any body runs, so
+/// no GO barrier is needed.
+pub(crate) fn uds_world(dir: &Path, nranks: usize) -> std::io::Result<Vec<SocketTransport>> {
+    (0..nranks)
+        .map(|r| SocketTransport::uds(r, nranks, dir))
+        .collect()
+}
+
+pub(crate) fn tcp_world(nranks: usize) -> std::io::Result<Vec<SocketTransport>> {
+    let mut listeners = Vec::with_capacity(nranks);
+    let mut ports = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (l, p) = SocketTransport::tcp_listener()?;
+        listeners.push(l);
+        ports.push(p);
+    }
+    listeners
+        .into_iter()
+        .enumerate()
+        .map(|(r, l)| SocketTransport::tcp(r, l, &ports))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gmgsock_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn roundtrip_pair(mut transports: Vec<SocketTransport>) {
+        let mut b = transports.pop().unwrap();
+        let mut a = transports.pop().unwrap();
+        let payload: Vec<f64> = (0..20_000).map(|i| i as f64 * 0.25).collect();
+        a.send(
+            1,
+            Wire::Data {
+                src: 0,
+                tag: 9,
+                seq: 0,
+                checksum: 42,
+                payload: payload.clone(),
+            },
+        )
+        .unwrap();
+        // A real world pumps each rank continuously from its own recv
+        // loop; the single-threaded test interleaves by hand (the TCP
+        // link to a higher rank is only accepted during `a`'s pump).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let w = loop {
+            a.pump();
+            if let Ok(Some(w)) = b.recv(Some(Duration::from_millis(5))) {
+                break w;
+            }
+            assert!(Instant::now() < deadline, "no wire within budget");
+        };
+        match w {
+            Wire::Data {
+                src,
+                tag,
+                seq,
+                checksum,
+                payload: p,
+            } => {
+                assert_eq!((src, tag, seq, checksum), (0, 9, 0, 42));
+                assert_eq!(p, payload);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // And the reverse direction (exercises TCP accept-side links).
+        b.send(0, Wire::Ack { src: 1, seq: 7 }).unwrap();
+        match a.recv(Some(Duration::from_secs(5))).unwrap().unwrap() {
+            Wire::Ack { src, seq } => assert_eq!((src, seq), (1, 7)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uds_fragmented_roundtrip_both_directions() {
+        let dir = scratch_dir("uds_rt");
+        roundtrip_pair(uds_world(&dir, 2).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_fragmented_roundtrip_both_directions() {
+        roundtrip_pair(tcp_world(2).unwrap());
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_garbage_is_dropped_not_fatal() {
+        let dir = scratch_dir("uds_to");
+        let mut w = uds_world(&dir, 2).unwrap();
+        let probe = UnixDatagram::unbound().unwrap();
+        probe
+            .send_to(b"not a frame at all", data_sock_path(&dir, 1))
+            .unwrap();
+        let start = Instant::now();
+        let got = w[1].recv(Some(Duration::from_millis(60))).unwrap();
+        assert!(got.is_none());
+        assert!(start.elapsed() >= Duration::from_millis(55));
+        assert_eq!(w[1].frame_errors(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_epoch_frames_are_fenced_future_ones_replay() {
+        let dir = scratch_dir("uds_ep");
+        let mut w = uds_world(&dir, 2).unwrap();
+        let wire = |seq| Wire::Data {
+            src: 0,
+            tag: 1,
+            seq,
+            checksum: 0,
+            payload: vec![seq as f64],
+        };
+        w[0].send(1, wire(0)).unwrap(); // epoch 0
+        let (a, b) = w.split_at_mut(1);
+        let (a, b) = (&mut a[0], &mut b[0]);
+        a.set_epoch(1);
+        a.send(1, wire(1)).unwrap(); // epoch 1: future for the receiver
+                                     // Receiver still at epoch 0: sees only the epoch-0 wire.
+        let got = b.recv(Some(Duration::from_millis(200))).unwrap().unwrap();
+        assert!(matches!(got, Wire::Data { seq: 0, .. }));
+        assert!(b.recv(Some(Duration::from_millis(50))).unwrap().is_none());
+        // Epoch bump: the held future frame replays; nothing older leaks.
+        b.set_epoch(1);
+        let got = b.recv(Some(Duration::from_millis(200))).unwrap().unwrap();
+        assert!(matches!(got, Wire::Data { seq: 1, .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

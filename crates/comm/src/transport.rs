@@ -1,0 +1,102 @@
+//! The transport abstraction under the ARQ layer.
+//!
+//! [`crate::runtime::RankCtx`] speaks one reliable protocol (sequence
+//! numbers, checksums, ACK + dedup, bounded-backoff retransmit) over any
+//! [`Transport`]: an unreliable, unordered-under-fault-injection pipe
+//! that moves [`Wire`]s between ranks. Two backends exist:
+//!
+//! * [`ThreadTransport`] — the original in-process crossbeam channels,
+//!   byte-for-byte the pre-trait behavior (blocking receives, channel
+//!   disconnection maps to a transport error).
+//! * [`crate::socket::SocketTransport`] — Unix-domain-socket datagrams
+//!   (TCP fallback) between one OS process per rank, framed by
+//!   [`crate::frame`].
+//!
+//! Transport errors are deliberately untyped (`()`): the ARQ layer owns
+//! the typed [`crate::CommError`] vocabulary and knows which peer it was
+//! talking to; the transport only knows "this pipe is gone".
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+/// What actually travels between ranks.
+#[derive(Clone, Debug)]
+pub(crate) enum Wire {
+    /// A payload message. `seq` is per-sender monotone; `checksum` covers
+    /// `(src, tag, seq, payload)`.
+    Data {
+        src: usize,
+        tag: u64,
+        seq: u64,
+        checksum: u64,
+        payload: Vec<f64>,
+    },
+    /// Acknowledges receipt of the sender's `seq`. `src` is the ACKing
+    /// rank.
+    Ack { src: usize, seq: u64 },
+}
+
+/// An unreliable pipe between this rank and its peers. Fault injection
+/// happens *above* this layer (in `RankCtx`), on `Wire`s, so the same
+/// seeded [`crate::FaultPlan`] produces the same fates on every backend.
+pub(crate) trait Transport: Send {
+    /// Best-effort delivery of `wire` to rank `to`. `Err(())` means the
+    /// pipe to that peer is known-dead (the thread backend's channel is
+    /// closed); backends where loss is silent simply return `Ok`.
+    fn send(&mut self, to: usize, wire: Wire) -> Result<(), ()>;
+
+    /// Receive the next wire addressed to this rank.
+    ///
+    /// * `None` — block until a wire arrives (or the pipe dies).
+    /// * `Some(Duration::ZERO)` — non-blocking poll.
+    /// * `Some(d)` — block at most `d`; `Ok(None)` on timeout.
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Wire>, ()>;
+
+    /// Advance an epoch fence (membership change). Wires from older
+    /// epochs are dropped by the transport; the default backend has no
+    /// epochs because its ranks cannot rejoin.
+    fn set_epoch(&mut self, _epoch: u64) {}
+
+    /// Drive backend housekeeping (flush backlogs, accept connections).
+    fn pump(&mut self) {}
+
+    /// Backend name for diagnostics.
+    fn kind(&self) -> &'static str;
+}
+
+/// The in-process backend: one crossbeam channel per rank, exactly as
+/// the pre-`Transport` runtime wired them.
+pub(crate) struct ThreadTransport {
+    pub peers: Vec<Sender<Wire>>,
+    pub inbox: Receiver<Wire>,
+}
+
+impl Transport for ThreadTransport {
+    fn send(&mut self, to: usize, wire: Wire) -> Result<(), ()> {
+        self.peers[to].send(wire).map_err(|_| ())
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Wire>, ()> {
+        match timeout {
+            None => match self.inbox.recv() {
+                Ok(w) => Ok(Some(w)),
+                Err(_) => Err(()),
+            },
+            Some(d) if d == Duration::ZERO => match self.inbox.try_recv() {
+                Ok(w) => Ok(Some(w)),
+                Err(TryRecvError::Empty) => Ok(None),
+                Err(TryRecvError::Disconnected) => Err(()),
+            },
+            Some(d) => match self.inbox.recv_timeout(d) {
+                Ok(w) => Ok(Some(w)),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(()),
+            },
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "thread"
+    }
+}

@@ -137,17 +137,27 @@ pub fn dump_world_to(
     reason: &str,
     detail: &str,
 ) -> io::Result<()> {
+    write_logs(dir, world.nranks(), &world.snapshot(), reason, detail)
+}
+
+/// Write a dump directory from already-snapshotted rank logs.
+fn write_logs(
+    dir: &Path,
+    nranks: usize,
+    logs: &[RankLog],
+    reason: &str,
+    detail: &str,
+) -> io::Result<()> {
     fs::create_dir_all(dir)?;
-    let logs = world.snapshot();
     let ranks = Json::Arr(logs.iter().map(|l| Json::Num(l.rank as f64)).collect());
     let manifest = Json::Obj(vec![
         ("reason".to_string(), Json::Str(reason.to_string())),
         ("detail".to_string(), Json::Str(detail.to_string())),
-        ("nranks".to_string(), Json::Num(world.nranks() as f64)),
+        ("nranks".to_string(), Json::Num(nranks as f64)),
         ("ranks".to_string(), ranks),
     ]);
     fs::write(dir.join("manifest.json"), manifest.to_string())?;
-    for log in &logs {
+    for log in logs {
         let body = Json::Obj(vec![
             ("rank".to_string(), Json::Num(log.rank as f64)),
             ("capacity".to_string(), Json::Num(log.capacity as f64)),
@@ -257,6 +267,60 @@ pub fn load_dump(dir: &Path) -> io::Result<DumpBundle> {
     })
 }
 
+/// Merge several dumps — typically one per OS process, each holding a
+/// single live rank's ring alongside empty placeholders for its peers —
+/// into one world-wide dump under [`base_dir`]. For every rank the log
+/// with the most recorded events across the sources wins (a rank's own
+/// ring beats the empty placeholder a *different* process dumped for
+/// it). Unreadable sources are skipped; returns `None` when nothing
+/// merged or the dump cap is spent.
+pub fn merge_dumps(sources: &[PathBuf], reason: &str, detail: &str) -> Option<PathBuf> {
+    let bundles: Vec<DumpBundle> = sources.iter().filter_map(|p| load_dump(p).ok()).collect();
+    if bundles.is_empty() {
+        return None;
+    }
+    let nranks = bundles.iter().map(|b| b.nranks).max().unwrap_or(0);
+    let mut logs: Vec<RankLog> = Vec::with_capacity(nranks);
+    for rank in 0..nranks {
+        let best = bundles
+            .iter()
+            .flat_map(|b| b.logs.iter())
+            .filter(|l| l.rank == rank)
+            .max_by_key(|l| (l.events.len(), l.written));
+        logs.push(best.cloned().unwrap_or(RankLog {
+            rank,
+            capacity: 0,
+            written: 0,
+            lost: 0,
+            events: Vec::new(),
+        }));
+    }
+    if DUMPS.fetch_add(1, Ordering::Relaxed) >= max_dumps() {
+        return None;
+    }
+    let ns = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let base = base_dir();
+    for k in 0..16u32 {
+        let name = if k == 0 {
+            format!("flightdump_{ns}")
+        } else {
+            format!("flightdump_{ns}_{k}")
+        };
+        let dir = base.join(name);
+        if dir.exists() {
+            continue;
+        }
+        return match write_logs(&dir, nranks, &logs, reason, detail) {
+            Ok(()) => Some(dir),
+            Err(_) => None,
+        };
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +376,35 @@ mod tests {
         assert_eq!(e1.peer, NO_PEER);
         assert_eq!(e1.msg_seq, NO_MSG_SEQ);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_prefers_the_ring_with_events_for_each_rank() {
+        // Two per-process dumps: each world has both ranks, but only one
+        // ring per process actually recorded anything.
+        let base = scratch_dir("merge");
+        let (a, b) = (base.join("flightdump_a"), base.join("flightdump_b"));
+        for (dir, rank, op) in [(&a, 0usize, "send"), (&b, 1usize, "recv")] {
+            let world = FlightWorld::with_capacity(2, 64);
+            world.ring(rank).record(FlightEvent {
+                ts_ns: 1,
+                kind: EventKind::Control,
+                op,
+                ..FlightEvent::empty()
+            });
+            dump_world_to(dir, &world, "membership-park", "per-process").unwrap();
+        }
+        std::env::set_var("GMG_FLIGHT_DIR", &base);
+        let merged = merge_dumps(&[a, b], "process-world", "rank 1 died");
+        std::env::remove_var("GMG_FLIGHT_DIR");
+        let merged = merged.expect("merged dump");
+        let bundle = load_dump(&merged).unwrap();
+        assert_eq!(bundle.reason, "process-world");
+        assert_eq!(bundle.detail, "rank 1 died");
+        assert_eq!(bundle.nranks, 2);
+        assert_eq!(bundle.logs[0].events[0].op, "send");
+        assert_eq!(bundle.logs[1].events[0].op, "recv");
+        let _ = fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod recorder;
 pub mod ring;
 pub mod waitstate;
 
-pub use dump::{dump_installed, dump_world, dump_world_to, load_dump, DumpBundle};
+pub use dump::{dump_installed, dump_world, dump_world_to, load_dump, merge_dumps, DumpBundle};
 pub use recorder::{
     current_level, enabled, export_metrics, install, installed, level_scope, record_arq,
     record_compute, record_control, record_msg_arrive, record_recv_wait, record_send, set_enabled,

@@ -51,10 +51,23 @@ impl LocalNorms {
     /// zero cells total (e.g. norms of an empty region) yields zeroed
     /// norms rather than NaN from the 0/0 division.
     pub fn global(self, ctx: &mut RankCtx) -> GlobalNorms {
-        let sum_sq = ctx.allreduce_sum(self.sum_sq);
-        let max_abs = ctx.allreduce_max(self.max_abs);
-        let sum = ctx.allreduce_sum(self.sum);
-        let cells = ctx.allreduce_sum(self.cells as f64);
+        match self.try_global(ctx) {
+            Ok(g) => g,
+            Err(e) => panic!("comm failure: {e}"),
+        }
+    }
+
+    /// Fallible [`LocalNorms::global`] for elastic solvers that must
+    /// survive a mid-reduction membership park.
+    pub fn try_global(self, ctx: &mut RankCtx) -> Result<GlobalNorms, gmg_comm::CommError> {
+        let sum_sq = ctx.try_allreduce_sum(self.sum_sq)?;
+        let max_abs = ctx.try_allreduce_max(self.max_abs)?;
+        let sum = ctx.try_allreduce_sum(self.sum)?;
+        let cells = ctx.try_allreduce_sum(self.cells as f64)?;
+        Ok(Self::combine(sum_sq, max_abs, sum, cells))
+    }
+
+    fn combine(sum_sq: f64, max_abs: f64, sum: f64, cells: f64) -> GlobalNorms {
         if cells == 0.0 {
             return GlobalNorms {
                 l2: 0.0,
@@ -139,6 +152,14 @@ pub enum RecoveryPolicy {
     /// Restore the best checkpointed iterate and return it gracefully
     /// (converged = false, health = the verdict).
     BestIterate,
+    /// Elastic multi-process mode: the solve writes a durable per-cycle
+    /// checkpoint (see [`crate::rejoin`]) and, when the membership
+    /// controller parks the world after a rank death, restores the
+    /// world-agreed cycle and resumes — bit-identically to an unfaulted
+    /// run. Health verdicts (divergence, non-finite) still abort: those
+    /// are numerical faults a respawn cannot fix. Outside a membership
+    /// world this policy behaves exactly like [`RecoveryPolicy::Abort`].
+    Rejoin,
 }
 
 /// Streaming residual watchdog for the solve loop: feed each global

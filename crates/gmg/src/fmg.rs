@@ -85,6 +85,7 @@ impl GmgSolver {
             converged,
             total_seconds: t_start.elapsed().as_secs_f64(),
             recoveries: 0,
+            rejoin_epochs: 0,
         }
     }
 }

@@ -26,6 +26,7 @@ pub mod fmg;
 pub mod level;
 pub mod ops;
 pub mod problem;
+pub mod rejoin;
 pub mod schedule;
 pub mod smoother;
 pub mod solver;
@@ -37,6 +38,7 @@ pub use diagnostics::{
 };
 pub use level::{Checkpoint, Level};
 pub use problem::PoissonProblem;
+pub use rejoin::{RejoinStore, SolverCheckpoint};
 pub use schedule::{ScheduleConfig, SimLevelBreakdown, SimResult};
 pub use smoother::Smoother;
 pub use solver::{GmgSolver, SolveStats, SolverConfig};

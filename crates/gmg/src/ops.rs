@@ -2,14 +2,28 @@
 //! communication-avoiding margin, and the global convergence check.
 
 use crate::level::Level;
-use gmg_comm::runtime::{exchange_bricked, RankCtx};
+use gmg_comm::runtime::{try_exchange_bricked, RankCtx};
+use gmg_comm::CommError;
 
 /// Exchange the ghost bricks of `level.x` with all 26 neighbors and reset
 /// the communication-avoiding margin to the full ghost depth.
 pub fn exchange_x(ctx: &mut RankCtx, level: &mut Level, tag_base: u64) {
+    if let Err(e) = try_exchange_x(ctx, level, tag_base) {
+        panic!("comm failure: {e}");
+    }
+}
+
+/// Fallible [`exchange_x`] (the elastic solve path recovers from
+/// [`CommError::Parked`]). The margin only resets on success.
+pub fn try_exchange_x(
+    ctx: &mut RankCtx,
+    level: &mut Level,
+    tag_base: u64,
+) -> Result<(), CommError> {
     let decomp = level.decomp.clone();
-    exchange_bricked(ctx, &decomp, &mut level.x, tag_base);
+    try_exchange_bricked(ctx, &decomp, &mut level.x, tag_base)?;
     level.margin = level.ghost_cells();
+    Ok(())
 }
 
 /// Exchange the ghost bricks of `level.b`. Needed once per V-cycle per
@@ -17,18 +31,41 @@ pub fn exchange_x(ctx: &mut RankCtx, level: &mut Level, tag_base: u64) {
 /// communication-avoiding smoothing reads `b` in the ghost shell while
 /// redundantly recomputing there.
 pub fn exchange_b(ctx: &mut RankCtx, level: &mut Level, tag_base: u64) {
+    if let Err(e) = try_exchange_b(ctx, level, tag_base) {
+        panic!("comm failure: {e}");
+    }
+}
+
+/// Fallible [`exchange_b`].
+pub fn try_exchange_b(
+    ctx: &mut RankCtx,
+    level: &mut Level,
+    tag_base: u64,
+) -> Result<(), CommError> {
     let decomp = level.decomp.clone();
-    exchange_bricked(ctx, &decomp, &mut level.b, tag_base);
+    try_exchange_bricked(ctx, &decomp, &mut level.b, tag_base)
 }
 
 /// Global max-norm residual at `level` (Algorithm 1's `maxNormRes`):
 /// exchange, fresh `applyOp`, residual, and an all-reduce across ranks.
 pub fn max_norm_residual(ctx: &mut RankCtx, level: &mut Level, tag_base: u64) -> f64 {
-    exchange_x(ctx, level, tag_base);
+    match try_max_norm_residual(ctx, level, tag_base) {
+        Ok(r) => r,
+        Err(e) => panic!("comm failure: {e}"),
+    }
+}
+
+/// Fallible [`max_norm_residual`].
+pub fn try_max_norm_residual(
+    ctx: &mut RankCtx,
+    level: &mut Level,
+    tag_base: u64,
+) -> Result<f64, CommError> {
+    try_exchange_x(ctx, level, tag_base)?;
     level.apply_op(level.owned);
     level.residual(level.owned);
     let local = level.max_norm_r();
-    ctx.allreduce_max(local)
+    ctx.try_allreduce_max(local)
 }
 
 #[cfg(test)]

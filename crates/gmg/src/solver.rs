@@ -3,12 +3,14 @@
 
 use crate::diagnostics::{HealthMonitor, LocalNorms, RecoveryPolicy, SolveHealth};
 use crate::level::{interpolation_increment, restriction, Checkpoint, Level};
-use crate::ops::{exchange_b, exchange_x, max_norm_residual};
+use crate::ops::{try_exchange_b, try_exchange_x, try_max_norm_residual};
 use crate::problem::PoissonProblem;
+use crate::rejoin::{RejoinStore, SolverCheckpoint};
 use crate::smoother::Smoother;
 use crate::timers::OpTimer;
 use gmg_brick::{BrickOrdering, BrickedField};
 use gmg_comm::runtime::RankCtx;
+use gmg_comm::CommError;
 use gmg_mesh::Decomposition;
 #[cfg(test)]
 use gmg_mesh::Point3;
@@ -124,6 +126,11 @@ pub struct SolveStats {
     pub health: SolveHealth,
     /// Rollback recoveries performed during the solve.
     pub recoveries: usize,
+    /// Membership rejoin epochs this rank lived through (elastic
+    /// multi-process solves under [`RecoveryPolicy::Rejoin`]; always 0
+    /// otherwise). Counts both surviving a peer's death (park + resume)
+    /// and being the respawned replacement.
+    pub rejoin_epochs: usize,
 }
 
 impl SolveStats {
@@ -142,6 +149,13 @@ impl SolveStats {
     }
 }
 
+/// Where an elastic solve resumes after restoring a rejoin checkpoint:
+/// the agreed residual history and the number of completed V-cycles.
+struct ResumePoint {
+    history: Vec<f64>,
+    vcycles: usize,
+}
+
 /// One rank's multigrid solver state.
 pub struct GmgSolver {
     pub problem: PoissonProblem,
@@ -152,8 +166,16 @@ pub struct GmgSolver {
     /// after each V-cycle with `(cycle_index, finest_level)` so the
     /// iterate can be corrupted without a comm layer in the loop.
     pub fault_hook: Option<Box<dyn FnMut(usize, &mut Level) + Send>>,
+    /// Phase hook for tests and chaos campaigns: called at each V-cycle
+    /// phase boundary with `(cycle_index, phase, level)` where `phase` is
+    /// one of `"smooth"`, `"restrict"`, `"coarse"`, `"prolong"`. The
+    /// rejoin battery uses this to make a rank die at an exact point in
+    /// the schedule.
+    pub phase_hook: Option<Box<dyn FnMut(usize, &'static str, usize) + Send>>,
     rank: usize,
     tag_counter: u64,
+    /// 1-based index of the cycle currently executing (feeds `phase_hook`).
+    current_cycle: usize,
 }
 
 impl GmgSolver {
@@ -204,8 +226,10 @@ impl GmgSolver {
             levels,
             timers: OpTimer::new(),
             fault_hook: None,
+            phase_hook: None,
             rank,
             tag_counter: 0,
+            current_cycle: 0,
         }
     }
 
@@ -229,12 +253,16 @@ impl GmgSolver {
     /// μ-cycle and the FMG driver).
     pub(crate) fn bottom_solve(&mut self, ctx: &mut RankCtx) {
         let top = self.config.num_levels - 1;
-        self.smooth_pass(ctx, top, self.config.bottom_smooths, false);
+        if let Err(e) = self.smooth_pass(ctx, top, self.config.bottom_smooths, false) {
+            panic!("comm failure: {e}");
+        }
     }
 
     /// Run one μ-cycle rooted at `level` (used by the FMG driver).
     pub(crate) fn cycle_at(&mut self, ctx: &mut RankCtx, level: usize) {
-        self.mu_cycle(ctx, level);
+        if let Err(e) = self.mu_cycle(ctx, level) {
+            panic!("comm failure: {e}");
+        }
     }
 
     /// Record one timed op into both the scalar [`OpTimer`] and (when a
@@ -315,7 +343,13 @@ impl GmgSolver {
     /// are grouped `config.fused_smooths` at a time through the fused
     /// cache-tile executor when the margin allows — same schedule, same
     /// exchanges, bit-identical numerics, less memory traffic.
-    fn smooth_pass(&mut self, ctx: &mut RankCtx, li: usize, n: usize, fused: bool) {
+    fn smooth_pass(
+        &mut self,
+        ctx: &mut RankCtx,
+        li: usize,
+        n: usize,
+        fused: bool,
+    ) -> Result<(), CommError> {
         let ca = self.config.communication_avoiding;
         let smoother = self.config.smoother;
         let need = smoother.margin_per_iteration();
@@ -333,7 +367,7 @@ impl GmgSolver {
                 // catch the rank thread inside it.
                 let _ph = gmg_prof::phase("exchange");
                 let t0 = Instant::now();
-                exchange_x(ctx, level, tag);
+                try_exchange_x(ctx, level, tag)?;
                 self.record_op(li, "exchange", t0, Instant::now(), 0);
             }
             if ca && self.config.fused_smooths >= 2 {
@@ -400,25 +434,44 @@ impl GmgSolver {
             self.levels[li].margin -= need;
             done += 1;
         }
+        Ok(())
+    }
+
+    /// Fire the phase hook (if any) at a V-cycle phase boundary.
+    fn phase_event(&mut self, phase: &'static str, level: usize) {
+        let cycle = self.current_cycle;
+        if let Some(h) = self.phase_hook.as_mut() {
+            h(cycle, phase, level);
+        }
     }
 
     /// One multigrid cycle (Algorithm 2 for γ = 1; the recursive μ-cycle
     /// generalization visits each coarser level γ times, giving W-cycles
-    /// at γ = 2).
+    /// at γ = 2). Panicking wrapper around [`GmgSolver::try_vcycle`].
     pub fn vcycle(&mut self, ctx: &mut RankCtx) {
-        self.mu_cycle(ctx, 0);
+        if let Err(e) = self.try_vcycle(ctx) {
+            panic!("comm failure: {e}");
+        }
     }
 
-    fn mu_cycle(&mut self, ctx: &mut RankCtx, l: usize) {
+    /// Fallible [`GmgSolver::vcycle`]: comm failures — including the
+    /// elastic membership park — surface as errors instead of panics.
+    pub fn try_vcycle(&mut self, ctx: &mut RankCtx) -> Result<(), CommError> {
+        self.mu_cycle(ctx, 0)
+    }
+
+    fn mu_cycle(&mut self, ctx: &mut RankCtx, l: usize) -> Result<(), CommError> {
         let top = self.config.num_levels - 1;
         if l == top {
             // Bottom solver: plain point relaxation.
-            self.smooth_pass(ctx, top, self.config.bottom_smooths, false);
-            return;
+            self.phase_event("coarse", top);
+            return self.smooth_pass(ctx, top, self.config.bottom_smooths, false);
         }
         let smooths = self.config.max_smooths;
         // Pre-smooth (computes the fused residual for restriction).
-        self.smooth_pass(ctx, l, smooths, true);
+        self.phase_event("smooth", l);
+        self.smooth_pass(ctx, l, smooths, true)?;
+        self.phase_event("restrict", l);
         let (fine_part, coarse_part) = self.levels.split_at_mut(l + 1);
         // Inter-level ops count per *coarse* point (Table IV convention).
         let coarse_points = coarse_part[0].owned.volume() as u64;
@@ -442,14 +495,15 @@ impl GmgSolver {
             let _lv = gmg_flight::level_scope(l + 1);
             let _ph = gmg_prof::phase("exchange");
             let t0 = Instant::now();
-            exchange_b(ctx, &mut self.levels[l + 1], tag);
+            try_exchange_b(ctx, &mut self.levels[l + 1], tag)?;
             self.record_op(l + 1, "exchange", t0, Instant::now(), 0);
         }
         // Recurse γ times: the coarse correction continues from its
         // previous iterate on repeat visits (classical μ-cycle).
         for _ in 0..self.config.cycle_gamma.max(1) {
-            self.mu_cycle(ctx, l + 1);
+            self.mu_cycle(ctx, l + 1)?;
         }
+        self.phase_event("prolong", l);
         let (fine_part, coarse_part) = self.levels.split_at_mut(l + 1);
         let coarse_points = coarse_part[0].owned.volume() as u64;
         let t0 = Instant::now();
@@ -465,7 +519,7 @@ impl GmgSolver {
             coarse_points,
         );
         // Post-smooth.
-        self.smooth_pass(ctx, l, smooths, true);
+        self.smooth_pass(ctx, l, smooths, true)
     }
 
     /// Emit a health/recovery instant event onto the trace's fault track
@@ -509,7 +563,9 @@ impl GmgSolver {
             }
         };
         match self.config.recovery {
-            RecoveryPolicy::Abort => {
+            // Rejoin handles *process* deaths; a numerical fault under it
+            // aborts just like the baseline policy.
+            RecoveryPolicy::Abort | RecoveryPolicy::Rejoin => {
                 self.health_event("recover:abort");
                 verdict
             }
@@ -549,33 +605,157 @@ impl GmgSolver {
 
     /// Algorithm 1: V-cycle until the global max-norm residual drops below
     /// the tolerance (or `max_vcycles` is hit), guarded by the health
-    /// watchdog and the configured [`RecoveryPolicy`].
+    /// watchdog and the configured [`RecoveryPolicy`]. Under
+    /// [`RecoveryPolicy::Rejoin`] in a membership world (one OS process
+    /// per rank) the solve is *elastic*: it checkpoints every cycle and
+    /// survives rank deaths by parking, restoring the world-agreed cycle,
+    /// and resuming bit-identically.
     pub fn solve(&mut self, ctx: &mut RankCtx) -> SolveStats {
         let t_start = Instant::now();
-        let tag = self.next_tag();
-        let r0 = max_norm_residual(ctx, &mut self.levels[0], tag);
-        let mut history = vec![r0];
-        let mut converged = r0 < self.config.tolerance;
-        let mut health = if r0.is_finite() {
+        if self.config.recovery == RecoveryPolicy::Rejoin && ctx.membership_active() {
+            return self.solve_elastic(ctx, t_start);
+        }
+        match self.solve_cycles(ctx, None, None, t_start) {
+            Ok(stats) => stats,
+            Err(e) => panic!("comm failure: {e}"),
+        }
+    }
+
+    /// The elastic solve driver: announce (rejoin) or run, and on every
+    /// membership park restore the minimum cycle any rank reported and
+    /// re-enter the solve loop. Terminates because each epoch either
+    /// finishes the solve or is ended by the controller (which gives up
+    /// after its rejoin budget).
+    fn solve_elastic(&mut self, ctx: &mut RankCtx, t_start: Instant) -> SolveStats {
+        let dir = ctx
+            .checkpoint_dir()
+            .expect("membership worlds provide a checkpoint directory");
+        let store = RejoinStore::new(&dir, self.rank)
+            .unwrap_or_else(|e| panic!("rank {}: cannot open rejoin store: {e}", self.rank));
+        let mut rejoin_epochs = 0usize;
+        let mut pending_resume: Option<u64> = None;
+        if ctx.membership_rejoining() {
+            // A respawned replacement enters through the membership
+            // barrier: report the newest locally valid checkpoint, wait
+            // for the world-agreed resume point.
+            let (_epoch, enc) = ctx.rejoin_ready(store.latest_cycle());
+            pending_resume = Some(enc);
+            rejoin_epochs += 1;
+        }
+        loop {
+            let start = match pending_resume.take() {
+                None => None,
+                Some(0) => {
+                    // No rank had a usable checkpoint: restart from the
+                    // zero guess, exactly like a fresh solve.
+                    self.levels[0].init_zero();
+                    self.tag_counter = 0;
+                    self.health_event("rejoin:restart");
+                    None
+                }
+                Some(enc) => {
+                    let cycle = enc - 1;
+                    let ck = store.load(cycle).unwrap_or_else(|| {
+                        panic!(
+                            "rank {}: world-agreed rejoin checkpoint (cycle {cycle}) is unreadable",
+                            self.rank
+                        )
+                    });
+                    self.restore_rejoin_checkpoint(&ck);
+                    self.health_event("rejoin:restore");
+                    Some(ResumePoint {
+                        history: ck.history,
+                        vcycles: ck.cycle as usize,
+                    })
+                }
+            };
+            match self.solve_cycles(ctx, start, Some(&store), t_start) {
+                Ok(mut stats) => {
+                    stats.rejoin_epochs = rejoin_epochs;
+                    return stats;
+                }
+                Err(CommError::Parked { .. }) => {
+                    // A peer died; the controller is reconfiguring the
+                    // world. Report the newest cycle we can restore and
+                    // wait at the membership barrier.
+                    let (_epoch, enc) = ctx.park_for_rejoin(store.latest_cycle());
+                    rejoin_epochs += 1;
+                    pending_resume = Some(enc);
+                }
+                Err(e) => panic!("comm failure: {e}"),
+            }
+        }
+    }
+
+    /// Restore the finest level and the exchange tag counter from a
+    /// durable rejoin checkpoint, bit-exactly: the full bricked storage
+    /// (owned + ghosts) and the communication-avoiding margin come back
+    /// as saved, so the resumed schedule issues the same exchanges with
+    /// the same tags on the same data as the unfaulted run.
+    fn restore_rejoin_checkpoint(&mut self, ck: &SolverCheckpoint) {
+        let level = &mut self.levels[0];
+        let dst = level.x.as_mut_slice();
+        assert_eq!(
+            dst.len(),
+            ck.x.len(),
+            "rejoin checkpoint shape does not match the finest level"
+        );
+        dst.copy_from_slice(&ck.x);
+        level.margin = ck.margin;
+        self.tag_counter = ck.tag_counter;
+    }
+
+    /// The solve loop proper. `start` resumes mid-history (elastic
+    /// restore); `store` persists a durable checkpoint after every
+    /// healthy cycle and reports solve progress to the membership
+    /// heartbeat.
+    fn solve_cycles(
+        &mut self,
+        ctx: &mut RankCtx,
+        start: Option<ResumePoint>,
+        store: Option<&RejoinStore>,
+        t_start: Instant,
+    ) -> Result<SolveStats, CommError> {
+        let (mut history, mut vcycles) = match start {
+            Some(rp) => (rp.history, rp.vcycles),
+            None => {
+                let tag = self.next_tag();
+                let r0 = try_max_norm_residual(ctx, &mut self.levels[0], tag)?;
+                (vec![r0], 0)
+            }
+        };
+        let r0 = history[0];
+        let r_last = *history.last().expect("history non-empty");
+        let mut converged = r_last < self.config.tolerance;
+        let mut health = if r_last.is_finite() {
             SolveHealth::Healthy
         } else {
             SolveHealth::NonFinite
         };
+        // Replay the (globally agreed) history through a fresh watchdog so
+        // a resumed solve carries the exact monitor state the unfaulted
+        // run would have at this cycle.
         let mut monitor = HealthMonitor::new(r0);
-        // Seed the checkpoint with the zero guess so a first-cycle fault
-        // still has somewhere to roll back to.
-        let mut checkpoint = (self.config.recovery != RecoveryPolicy::Abort)
-            .then(|| (r0, self.levels[0].checkpoint()));
+        for &r in &history[1..] {
+            let _ = monitor.observe(r);
+        }
+        // Seed the checkpoint with the current iterate so a first-cycle
+        // fault still has somewhere to roll back to.
+        let mut checkpoint = matches!(
+            self.config.recovery,
+            RecoveryPolicy::Rollback | RecoveryPolicy::BestIterate
+        )
+        .then(|| (r_last, self.levels[0].checkpoint()));
         let mut recoveries = 0;
-        let mut vcycles = 0;
         while health == SolveHealth::Healthy && !converged && vcycles < self.config.max_vcycles {
-            self.vcycle(ctx);
+            self.current_cycle = vcycles + 1;
+            self.try_vcycle(ctx)?;
             vcycles += 1;
             if let Some(hook) = self.fault_hook.as_mut() {
                 hook(vcycles, &mut self.levels[0]);
             }
             let tag = self.next_tag();
-            let r = max_norm_residual(ctx, &mut self.levels[0], tag);
+            let r = try_max_norm_residual(ctx, &mut self.levels[0], tag)?;
             history.push(r);
             // `max`-reductions silently drop NaN (`f64::max(NaN, x) = x`),
             // so non-finite state is detected through the summing residual
@@ -583,7 +763,7 @@ impl GmgSolver {
             // reaches the same verdict.
             let finite = r.is_finite()
                 && LocalNorms::of_residual(&self.levels[0])
-                    .global(ctx)
+                    .try_global(ctx)?
                     .is_finite();
             let verdict = if finite {
                 monitor.observe(r)
@@ -599,6 +779,21 @@ impl GmgSolver {
                             self.health_event("health:checkpoint");
                         }
                     }
+                    if let Some(store) = store {
+                        let level = &self.levels[0];
+                        let ck = SolverCheckpoint {
+                            cycle: vcycles as u64,
+                            tag_counter: self.tag_counter,
+                            margin: level.margin,
+                            history: history.clone(),
+                            x: level.x.as_slice().to_vec(),
+                        };
+                        store.save(&ck).unwrap_or_else(|e| {
+                            panic!("rank {}: rejoin checkpoint write failed: {e}", self.rank)
+                        });
+                        self.health_event("rejoin:checkpoint");
+                        ctx.membership_progress(vcycles as u64);
+                    }
                 }
                 bad => {
                     health =
@@ -606,14 +801,15 @@ impl GmgSolver {
                 }
             }
         }
-        SolveStats {
+        Ok(SolveStats {
             vcycles,
             residual_history: history,
             converged,
             total_seconds: t_start.elapsed().as_secs_f64(),
             health,
             recoveries,
-        }
+            rejoin_epochs: 0,
+        })
     }
 
     /// Max-norm error of the current iterate against the exact *discrete*
@@ -1134,6 +1330,153 @@ mod tests {
         let b = solve_with(16, Point3::new(1, 2, 1), lex);
         for (x, y) in a[0].0.residual_history.iter().zip(&b[0].0.residual_history) {
             assert!((x - y).abs() <= 1e-12 * x.max(1e-30));
+        }
+    }
+}
+
+/// Kill-and-rejoin battery (the robustness milestone's acceptance test):
+/// a rank aborts itself at an exact V-cycle phase of an exact cycle, the
+/// membership controller respawns it, and the whole world resumes from
+/// the durable per-cycle checkpoints. The recovered run's residual
+/// history must be *bit-identical* to an unfaulted run's — on both the
+/// process transport and the in-process thread transport — because the
+/// checkpoint restores the full finest-level storage, the
+/// communication-avoiding margin, and the exchange tag counter.
+#[cfg(all(test, unix))]
+mod battery {
+    use super::*;
+    use gmg_comm::process::run_child_if_spawned;
+    use gmg_comm::runtime::RankWorld;
+    use gmg_comm::{ProcessWorld, SocketKind};
+    use gmg_mesh::Box3;
+    use std::time::Duration;
+
+    const CHILD_ARGS: &[&str] = &["battery_child_entry", "--test-threads=1", "--nocapture"];
+    const KILL_CYCLE: usize = 3;
+
+    fn battery_config() -> SolverConfig {
+        let mut cfg = SolverConfig::test_default();
+        cfg.num_levels = 4;
+        cfg.brick_dim = 4;
+        cfg.tolerance = 0.0;
+        cfg.max_vcycles = 6;
+        cfg.recovery = RecoveryPolicy::Rejoin;
+        cfg
+    }
+
+    fn battery_decomp() -> Decomposition {
+        Decomposition::new(Box3::cube(64), Point3::new(2, 1, 1))
+    }
+
+    /// The solve both worlds run. `kill` is `"none"` or
+    /// `"victim:phase"`: that rank aborts at the first `phase` event of
+    /// cycle [`KILL_CYCLE`] — only in its original incarnation (the
+    /// respawned replacement starts in rejoining state and must not
+    /// re-arm the bomb; neither may a parked survivor re-running the
+    /// cycle, which the rank gate covers).
+    fn battery_solve(ctx: &mut RankCtx, kill: &str) -> String {
+        let mut s = GmgSolver::new(battery_decomp(), ctx.rank(), battery_config());
+        if kill != "none" {
+            let (victim, phase) = kill.split_once(':').expect("victim:phase");
+            let victim: usize = victim.parse().unwrap();
+            let phase = phase.to_string();
+            if ctx.rank() == victim && !ctx.membership_rejoining() {
+                s.phase_hook = Some(Box::new(move |c, p, _level| {
+                    if c == KILL_CYCLE && p == phase {
+                        std::process::abort();
+                    }
+                }));
+            }
+        }
+        let stats = s.solve(ctx);
+        let hist: Vec<String> = stats
+            .residual_history
+            .iter()
+            .map(|r| format!("{:x}", r.to_bits()))
+            .collect();
+        format!("{}|{}", hist.join(","), stats.rejoin_epochs)
+    }
+
+    fn dispatch(entry: &str, mut ctx: RankCtx, args: &str) -> String {
+        assert_eq!(entry, "battery", "unknown battery entry {entry:?}");
+        battery_solve(&mut ctx, args)
+    }
+
+    /// The hook a spawned copy of this test binary lands in (the
+    /// controller passes a libtest filter selecting exactly this test).
+    /// In a normal run it is an instant no-op.
+    #[test]
+    fn battery_child_entry() {
+        run_child_if_spawned(dispatch);
+    }
+
+    fn parse(result: &str) -> (Vec<u64>, usize) {
+        let (hist, epochs) = result.split_once('|').expect("hist|epochs");
+        (
+            hist.split(',')
+                .map(|h| u64::from_str_radix(h, 16).unwrap())
+                .collect(),
+            epochs.parse().unwrap(),
+        )
+    }
+
+    fn process_run(kill: &str) -> gmg_comm::ProcessReport {
+        ProcessWorld::new(2, "battery")
+            .args(kill)
+            .transport(SocketKind::Uds)
+            .child_args(CHILD_ARGS)
+            .deadline(Duration::from_secs(180))
+            .run()
+            .expect("battery process world")
+    }
+
+    #[test]
+    fn kill_and_rejoin_at_every_phase_is_bit_exact() {
+        // Ground truth 1: the thread transport (no membership, Rejoin
+        // degrades to a plain solve).
+        let thread_hists: Vec<Vec<u64>> = RankWorld::run(2, |mut ctx| {
+            let (h, e) = parse(&battery_solve(&mut ctx, "none"));
+            assert_eq!(e, 0);
+            h
+        });
+
+        // Ground truth 2: an unfaulted multi-process run matches the
+        // thread world bit-for-bit (transport equivalence at solver
+        // level).
+        let clean = process_run("none");
+        assert!(clean.rejoins.is_empty());
+        for (r, res) in clean.results.iter().enumerate() {
+            let (h, epochs) = parse(res);
+            assert_eq!(h, thread_hists[r], "rank {r}: process vs thread history");
+            assert_eq!(epochs, 0);
+        }
+
+        // The battery: SIGABRT rank 1 at each phase of V-cycle 3. Every
+        // run must rejoin exactly once, resume from the cycle-2
+        // checkpoint, and finish with the unfaulted history bit-for-bit.
+        let victim = 1usize;
+        for phase in ["smooth", "restrict", "coarse", "prolong"] {
+            let report = process_run(&format!("{victim}:{phase}"));
+            assert_eq!(report.rejoins.len(), 1, "{phase}: exactly one rejoin epoch");
+            let ev = &report.rejoins[0];
+            assert_eq!(ev.rank, victim, "{phase}");
+            assert_eq!(
+                ev.resume_cycle,
+                KILL_CYCLE as i64 - 1,
+                "{phase}: world resumes from the last pre-kill checkpoint"
+            );
+            for (r, res) in report.results.iter().enumerate() {
+                let (h, epochs) = parse(res);
+                assert_eq!(
+                    h, thread_hists[r],
+                    "{phase} rank {r}: recovered history must be bit-identical"
+                );
+                assert_eq!(epochs, 1, "{phase} rank {r}: one rejoin epoch lived");
+                // The milestone's stated bound, implied by bit-equality.
+                let fin = f64::from_bits(*h.last().unwrap());
+                let want = f64::from_bits(*thread_hists[r].last().unwrap());
+                assert!((fin - want).abs() <= 1e-12);
+            }
         }
     }
 }
