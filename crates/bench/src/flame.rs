@@ -9,8 +9,9 @@
 //!   must agree with the gmg-trace span share recorded around the same
 //!   invocations (tolerance stated in the report).
 //! * **Coverage** — ≥ `min_coverage` of the bricked applyOp's samples
-//!   must land in a *named* sub-phase (`interior`, `brick_boundary`,
-//!   `index`), so the gap decomposition actually decomposes.
+//!   must land in a *named* sub-phase (`interior`, `index`), so the gap
+//!   decomposition actually decomposes. (The row-streamed kernel folded
+//!   the old `brick_boundary` pass into `interior`.)
 //!
 //! `--inject-slowdown PHASE:PCT` is the attribution self-test: deliberately
 //! stretch one phase, re-run, and require that exactly that phase dominates
@@ -204,13 +205,25 @@ pub fn run_pass(opts: &FlameOpts) -> FlamePass {
 /// Time growth, not share delta: a planted slowdown multiplies its
 /// phase's time, so the injected phase wins by ~the injection factor even
 /// when it already dominated its kernel (share deltas saturate near 1.0
-/// and lose to share *reshuffling* noise in the other kernels). Phases
-/// with fewer than 16 combined samples or below 2% of their kernel's
-/// slowed-pass samples are skipped: a handful of ticks cannot support a
-/// growth-ratio estimate (a 6-tick phase jitters ×3 on its own), so an
-/// injection must be large enough to lift its phase above the floor —
-/// which any few-hundred-percent slowdown does.
+/// and lose to share *reshuffling* noise in the other kernels).
+///
+/// Both scoring and the visibility floor are rescaled by the worker count
+/// each pass actually ran with (`Profile::threads_seen`), because a rayon
+/// pool breaks the single-threaded assumptions the original heuristics
+/// baked in: per-phase *CPU* time is `share × seconds_per_call × workers`
+/// (share × wall time alone under-counts by the pool width, so two passes
+/// at different widths would fabricate or mask growth), and with `W`
+/// workers the sampler banks ~`W` ticks per wall-second, so the support
+/// floor scales to `16 × W` to keep the same wall-time visibility bar.
+/// Phases below the floor, or below 2% of their kernel's slowed-pass
+/// samples, are skipped: a handful of ticks cannot support a growth-ratio
+/// estimate (a 6-tick phase jitters ×3 on its own), so an injection must
+/// be large enough to lift its phase above the floor — which any
+/// few-hundred-percent slowdown does.
 pub fn attribution_winner(clean: &FlamePass, slowed: &FlamePass) -> Option<(String, f64)> {
+    let w0 = clean.profile.threads_seen.max(1);
+    let w1 = slowed.profile.threads_seen.max(1);
+    let support_floor = (16 * w0.max(w1)) as u64;
     let mut best: Option<(String, f64)> = None;
     for (k0, k1) in clean.kernels.iter().zip(&slowed.kernels) {
         debug_assert_eq!(k0.root, k1.root);
@@ -223,11 +236,11 @@ pub fn attribution_winner(clean: &FlamePass, slowed: &FlamePass) -> Option<(Stri
         for name in names {
             let support = b0.children.get(name.as_str()).copied().unwrap_or(0)
                 + b1.children.get(name.as_str()).copied().unwrap_or(0);
-            if support < 16 || b1.child_share(name) < 0.02 {
+            if support < support_floor || b1.child_share(name) < 0.02 {
                 continue;
             }
-            let t0 = (b0.child_share(name) * k0.seconds_per_call).max(1e-12);
-            let t1 = b1.child_share(name) * k1.seconds_per_call;
+            let t0 = (b0.child_share(name) * k0.seconds_per_call * w0 as f64).max(1e-12);
+            let t1 = b1.child_share(name) * k1.seconds_per_call * w1 as f64;
             let growth = t1 / t0;
             if best.as_ref().map_or(true, |(_, g)| growth > *g) {
                 best = Some((name.clone(), growth));
@@ -379,9 +392,10 @@ mod tests {
     #[test]
     fn inject_slowdown_flags_exactly_the_injected_phase() {
         // Determinism of attribution: a heavy slowdown planted in the
-        // boundary phase must dominate the diff, and the same for the
-        // interior phase — the winner tracks the injection exactly.
-        for target in ["brick_boundary", "interior@b8"] {
+        // streamed-interior phase must dominate the diff, and the same
+        // for the fused executor's tile phase — the winner tracks the
+        // injection exactly across two different kernels.
+        for target in ["interior@b8", "tile_smooth@b8"] {
             let clean = run_pass(&quick_opts());
             gmg_prof::set_slowdown(Some((target, 400.0)));
             let slowed = run_pass(&quick_opts());

@@ -194,6 +194,11 @@ impl BrickedField {
     }
 
     /// Parallel reduction over `region ∩ owned` cells.
+    ///
+    /// Deterministic at any thread count: per-piece partial results are
+    /// collected in piece order and folded serially, so the combine tree
+    /// never depends on rayon's work-stealing schedule and float
+    /// reductions are bit-identical run to run.
     pub fn par_reduce<R: Send + Sync + Copy>(
         &self,
         region: Box3,
@@ -204,7 +209,7 @@ impl BrickedField {
         let bvol = self.layout.brick_volume();
         let bd = self.layout.brick_dim();
         let pieces = self.layout.slots_intersecting(region);
-        pieces
+        let partials: Vec<R> = pieces
             .par_iter()
             .map(|(slot, sub)| {
                 let base = *slot as usize * bvol;
@@ -225,7 +230,8 @@ impl BrickedField {
                 }
                 acc
             })
-            .reduce(|| identity, &combine)
+            .collect();
+        partials.into_iter().fold(identity, &combine)
     }
 
     /// Copy ghost bricks from this rank's own owned bricks with a periodic

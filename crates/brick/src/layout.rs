@@ -33,6 +33,43 @@ pub enum BrickOrdering {
     SurfaceMajor,
 }
 
+/// Compile-time specialization class of a brick dimension.
+///
+/// The hot stencil kernels in `gmg-stencil` monomorphize their inner loops
+/// for the brick shapes the solver and perfgate actually exercise (4³ and
+/// 8³), so the compiler sees the row length as a constant and unrolls /
+/// vectorizes accordingly; every other dimension takes the runtime-dim
+/// generic path, which computes identical bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BrickShape {
+    /// 4³ bricks (the paper's Sunspot configuration).
+    B4,
+    /// 8³ bricks (the paper's Perlmutter/Frontier configuration).
+    B8,
+    /// Any other dimension: runtime-dim fallback kernel.
+    Generic(i64),
+}
+
+impl BrickShape {
+    /// Classify a brick dimension.
+    pub fn of(brick_dim: i64) -> Self {
+        match brick_dim {
+            4 => BrickShape::B4,
+            8 => BrickShape::B8,
+            d => BrickShape::Generic(d),
+        }
+    }
+
+    /// The brick side length this shape describes.
+    pub fn dim(self) -> i64 {
+        match self {
+            BrickShape::B4 => 4,
+            BrickShape::B8 => 8,
+            BrickShape::Generic(d) => d,
+        }
+    }
+}
+
 /// Classification of a brick within a layout's storage shell.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SlotClass {
@@ -193,6 +230,12 @@ impl BrickLayout {
     #[inline]
     pub fn brick_dim(&self) -> i64 {
         self.brick_dim
+    }
+
+    /// Specialization class of this layout's brick dimension.
+    #[inline]
+    pub fn shape(&self) -> BrickShape {
+        BrickShape::of(self.brick_dim)
     }
 
     /// Ghost shell depth in bricks.

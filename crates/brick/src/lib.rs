@@ -27,5 +27,5 @@ pub mod layout;
 pub mod neighborhood;
 
 pub use field::BrickedField;
-pub use layout::{BrickLayout, BrickOrdering, SlotClass, NO_BRICK};
-pub use neighborhood::BrickNeighborhood;
+pub use layout::{BrickLayout, BrickOrdering, BrickShape, SlotClass, NO_BRICK};
+pub use neighborhood::{BrickFaces, BrickNeighborhood};

@@ -349,6 +349,53 @@ mod tests {
     }
 
     #[test]
+    fn residual_history_bit_identical_across_thread_counts_and_kernels() {
+        // The acceptance bar for the parallel executors: a communication-
+        // avoiding smoothing loop's residual history must not depend on
+        // the rayon pool width (the partition scheme is a fixed constant
+        // and reductions fold partials in slab order) nor on whether the
+        // bricked applyOp takes its shape-specialized or generic path.
+        let history = |threads: usize, generic: bool| -> Vec<f64> {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                let n = 16;
+                let pr = PoissonProblem::new(n);
+                let mut l = single_level(n, 8, 0);
+                l.b = BrickedField::from_fn(l.layout.clone(), |p| {
+                    pr.rhs(p.rem_euclid(Point3::splat(n)))
+                });
+                l.init_zero();
+                let mut hist = Vec::new();
+                for _ in 0..4 {
+                    self_exchange(&mut l);
+                    if generic {
+                        gmg_stencil::exec_brick::apply_star7_bricked_generic(
+                            &mut l.ax, &l.x, l.alpha, l.beta, l.owned,
+                        );
+                    } else {
+                        l.apply_op(l.owned);
+                    }
+                    l.smooth_residual(l.owned);
+                    // Max norm plus an order-sensitive L2 sum: the latter
+                    // changes bits if any reduction reassociates.
+                    hist.push(l.max_norm_r());
+                    hist.push(l.r.par_reduce(l.owned, 0.0, |_, v| v * v, |a, b| a + b));
+                }
+                hist
+            })
+        };
+        let reference = history(1, false);
+        for threads in [2usize, 8] {
+            assert_eq!(history(threads, false), reference, "threads={threads}");
+        }
+        assert_eq!(history(1, true), reference, "generic kernel");
+        assert_eq!(history(8, true), reference, "generic kernel, 8 threads");
+    }
+
+    #[test]
     fn fused_smooth_residual_matches_split_ops() {
         let n = 8;
         let mut a = single_level(n, 4, 0);

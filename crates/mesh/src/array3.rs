@@ -10,6 +10,13 @@ use crate::box3::Box3;
 use crate::point::Point3;
 use rayon::prelude::*;
 
+/// Target slab count for the parallel helpers below. A fixed constant —
+/// deliberately *not* derived from `rayon::current_num_threads()` — so the
+/// work decomposition (and the combine order of reductions) is identical
+/// at any thread count. 64 slabs keep 1–32 workers busy with headroom for
+/// load balancing; `split_slabs` caps the count at the region's z extent.
+pub const PAR_SLABS: usize = 64;
+
 /// A dense 3D array over a half-open box, with an optional ghost shell.
 ///
 /// The *valid* region is the caller's logical domain; storage covers
@@ -214,6 +221,11 @@ impl<T: Copy + Default + Send + Sync> Array3<T> {
     /// Because our storage order is z-major, each z-slab of the *storage box*
     /// maps to a contiguous element range, letting us hand out disjoint
     /// `&mut` windows safely.
+    ///
+    /// The slab partition is a fixed constant ([`PAR_SLABS`]) rather than a
+    /// function of the live thread count, so the work decomposition — and
+    /// with it any float arithmetic downstream of slab boundaries — is
+    /// identical at any `RAYON_NUM_THREADS`.
     pub fn par_for_each_slab(&mut self, region: Box3, f: impl Fn(Box3, SlabMut<'_, T>) + Sync)
     where
         T: Send,
@@ -225,8 +237,7 @@ impl<T: Copy + Default + Send + Sync> Array3<T> {
         let plane = (self.ext[0] * self.ext[1]) as usize;
         let storage_lo = self.storage.lo;
         let ext = self.ext;
-        let nthreads = rayon::current_num_threads().max(1);
-        let slabs = r.split_slabs(2, nthreads * 2);
+        let slabs = r.split_slabs(2, PAR_SLABS);
 
         // Hand out one disjoint mutable window per z-slab. Windows are
         // carved off the storage slice front-to-back in slab order.
@@ -257,6 +268,11 @@ impl<T: Copy + Default + Send + Sync> Array3<T> {
 
     /// Reduce over `region ∩ valid` with `f` mapping each value, combining
     /// with `combine`, in parallel over z-slabs.
+    ///
+    /// Deterministic at any thread count: the slab partition is the fixed
+    /// [`PAR_SLABS`] constant and per-slab partials are folded serially in
+    /// slab order, so float reductions are bit-identical run to run
+    /// regardless of rayon's schedule.
     pub fn par_reduce<R: Send + Sync + Copy>(
         &self,
         region: Box3,
@@ -268,15 +284,16 @@ impl<T: Copy + Default + Send + Sync> Array3<T> {
         if r.is_empty() {
             return identity;
         }
-        let slabs = r.split_slabs(2, rayon::current_num_threads().max(1) * 2);
-        slabs
+        let slabs = r.split_slabs(2, PAR_SLABS);
+        let partials: Vec<R> = slabs
             .par_iter()
             .map(|s| {
                 let mut acc = identity;
                 s.for_each(|p| acc = combine(acc, f(p, self.data[self.offset(p)])));
                 acc
             })
-            .reduce(|| identity, &combine)
+            .collect();
+        partials.into_iter().fold(identity, &combine)
     }
 }
 

@@ -1,15 +1,18 @@
 //! Stencil execution over bricked storage.
 //!
 //! The fast 7-point kernel here is the moral equivalent of BrickLib's
-//! generated GPU code: the brick interior runs as a tight unit-stride loop
-//! over the contiguous brick (one "vector-folded" stream), and only cells on
-//! brick faces go through the adjacency indirection — the Rust counterpart
-//! of warp-shuffle edge handling. The generic interpreter supports any
+//! generated GPU code: every brick is streamed row-by-row over its
+//! contiguous storage with neighbor values read at fixed offsets into the
+//! seven per-brick face slices resolved once up front
+//! ([`gmg_brick::BrickFaces`]) — no per-point adjacency lookups anywhere,
+//! and the inner kernel is monomorphized per [`gmg_brick::BrickShape`]
+//! (see `brick_rows`). The generic interpreter supports any
 //! [`StencilDef`] whose radius fits within the ghost shell and is used to
 //! validate the fast kernels.
 
+use crate::brick_rows::{stream_star7_generic, stream_star7_spec, RowBounds};
 use crate::expr::StencilDef;
-use gmg_brick::{BrickNeighborhood, BrickedField};
+use gmg_brick::{BrickFaces, BrickNeighborhood, BrickShape, BrickedField};
 use gmg_mesh::{Box3, Point3};
 use rayon::prelude::*;
 
@@ -70,20 +73,47 @@ pub fn run_stencil_bricked(
 /// over bricks. `src` and `dst` must share a layout, and `src` must be
 /// valid on `region.grow(1)` (within the storage shell).
 ///
-/// The per-brick body is split into three gmg-prof phases — `index`
-/// (neighborhood + bounds setup), `interior` (contiguous unit-stride
-/// spans on the center brick), `brick_boundary` (face/edge cells through
-/// the adjacency indirection) — so a sampling session can attribute the
-/// kernel's time to the sub-kernel that spends it. The two sweeps write
-/// disjoint cell sets, so the result is identical to a single fused
-/// sweep, and with profiling disabled each phase marker is one relaxed
-/// atomic load.
+/// Every brick — full or clipped by the region — runs the row-streamed
+/// kernel of `brick_rows`: the six face-neighbor base slices are
+/// resolved once per brick, so boundary cells stream at the same cost as
+/// interior cells and the old per-cell `brick_boundary` adjacency pass no
+/// longer exists. The inner kernel is monomorphized for the
+/// [`BrickShape`]s the perf gate exercises (4³, 8³) with a runtime-dim
+/// fallback executing bit-identical arithmetic.
+///
+/// gmg-prof phases: `index` covers face resolution + bounds setup,
+/// `interior` covers all streamed rows. With profiling disabled each
+/// marker is one relaxed atomic load.
 pub fn apply_star7_bricked(
     dst: &mut BrickedField,
     src: &BrickedField,
     alpha: f64,
     beta: f64,
     region: Box3,
+) {
+    apply_star7_bricked_impl(dst, src, alpha, beta, region, true);
+}
+
+/// [`apply_star7_bricked`] forced through the runtime-dim generic kernel
+/// even for brick shapes that have a monomorphized specialization.
+/// Exists so differential tests can pin the two paths bit-identical.
+pub fn apply_star7_bricked_generic(
+    dst: &mut BrickedField,
+    src: &BrickedField,
+    alpha: f64,
+    beta: f64,
+    region: Box3,
+) {
+    apply_star7_bricked_impl(dst, src, alpha, beta, region, false);
+}
+
+fn apply_star7_bricked_impl(
+    dst: &mut BrickedField,
+    src: &BrickedField,
+    alpha: f64,
+    beta: f64,
+    region: Box3,
+    specialize: bool,
 ) {
     let layout = src.layout().clone();
     assert!(
@@ -97,77 +127,37 @@ pub fn apply_star7_bricked(
     );
     let pieces = layout.slots_intersecting(region);
     let b = layout.brick_dim();
-    let (sy, sz) = (b as usize, (b * b) as usize);
+    let shape = if specialize {
+        layout.shape()
+    } else {
+        BrickShape::Generic(b)
+    };
     let ph = gmg_prof::brick_phases(b);
     dst.par_update_bricks(&pieces, |slot, sub, out| {
         // Rooted inside the closure so the phase lands on the rayon
         // worker actually doing the work.
         let _kernel = gmg_prof::phase(ph.apply_root);
         let setup = gmg_prof::phase(ph.apply_index);
-        let nb = BrickNeighborhood::new(src, slot);
-        let center = nb.center();
+        let faces = BrickFaces::new(src, slot);
         let cells = layout.cells_of_slot(slot);
-        let x0 = sub.lo.x - cells.lo.x;
-        let x1 = sub.hi.x - cells.lo.x;
-        // Interior x span runs on the contiguous center brick; rows with
-        // local y and z in [1, b-1) are the yz-interior of the brick.
-        let (ia, ib) = (x0.max(1), x1.min(b - 1));
-        let (zi0, zi1) = (sub.lo.z.max(cells.lo.z + 1), sub.hi.z.min(cells.hi.z - 1));
-        let (yi0, yi1) = (sub.lo.y.max(cells.lo.y + 1), sub.hi.y.min(cells.hi.y - 1));
+        let rb = RowBounds {
+            x0: (sub.lo.x - cells.lo.x) as usize,
+            x1: (sub.hi.x - cells.lo.x) as usize,
+            y0: (sub.lo.y - cells.lo.y) as usize,
+            y1: (sub.hi.y - cells.lo.y) as usize,
+            z0: (sub.lo.z - cells.lo.z) as usize,
+            z1: (sub.hi.z - cells.lo.z) as usize,
+        };
         drop(setup);
-        if ia < ib && zi0 < zi1 && yi0 < yi1 {
-            let _p = gmg_prof::phase(ph.apply_interior);
-            for z in zi0..zi1 {
-                let lz = z - cells.lo.z;
-                for y in yi0..yi1 {
-                    let ly = y - cells.lo.y;
-                    let row = ((lz * b + ly) * b) as usize;
-                    for lx in ia..ib {
-                        let i = row + lx as usize;
-                        out[i] = alpha * center[i]
-                            + beta
-                                * ((center[i - 1] + center[i + 1])
-                                    + (center[i - sy] + center[i + sy])
-                                    + (center[i - sz] + center[i + sz]));
-                    }
-                }
-            }
-        }
-        let _p = gmg_prof::phase(ph.apply_boundary);
-        for z in sub.lo.z..sub.hi.z {
-            let lz = z - cells.lo.z;
-            for y in sub.lo.y..sub.hi.y {
-                let ly = y - cells.lo.y;
-                let yz_interior = lz >= 1 && lz < b - 1 && ly >= 1 && ly < b - 1;
-                let row = ((lz * b + ly) * b) as usize;
-                if yz_interior {
-                    // Row ends cross the ±x face.
-                    if x0 == 0 {
-                        out[row] = star7_at(&nb, Point3::new(0, ly, lz), alpha, beta);
-                    }
-                    if x1 == b {
-                        out[row + (b - 1) as usize] =
-                            star7_at(&nb, Point3::new(b - 1, ly, lz), alpha, beta);
-                    }
-                } else {
-                    // Face/edge rows in y or z: per-cell neighborhood reads.
-                    for lx in x0..x1 {
-                        out[row + lx as usize] =
-                            star7_at(&nb, Point3::new(lx, ly, lz), alpha, beta);
-                    }
-                }
+        let _p = gmg_prof::phase(ph.apply_interior);
+        match shape {
+            BrickShape::B4 => stream_star7_spec::<4>(&faces, out, alpha, beta, &rb),
+            BrickShape::B8 => stream_star7_spec::<8>(&faces, out, alpha, beta, &rb),
+            BrickShape::Generic(_) => {
+                stream_star7_generic(b as usize, &faces, out, alpha, beta, &rb)
             }
         }
     });
-}
-
-#[inline]
-fn star7_at(nb: &BrickNeighborhood<'_>, l: Point3, alpha: f64, beta: f64) -> f64 {
-    alpha * nb.get(l)
-        + beta
-            * ((nb.get(l - Point3::new(1, 0, 0)) + nb.get(l + Point3::new(1, 0, 0)))
-                + (nb.get(l - Point3::new(0, 1, 0)) + nb.get(l + Point3::new(0, 1, 0)))
-                + (nb.get(l - Point3::new(0, 0, 1)) + nb.get(l + Point3::new(0, 0, 1))))
 }
 
 /// Fast *variable-coefficient* 7-point apply over bricks:
@@ -461,6 +451,22 @@ mod tests {
         });
         // Outside the region nothing is written.
         assert_eq!(fast.get(Point3::new(0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn specialized_kernel_bit_identical_to_generic_fallback() {
+        // The monomorphized 4³/8³ kernels must produce the exact same bits
+        // as the runtime-dim fallback, including on clipped sub-bricks.
+        for bd in [4, 8] {
+            let n = 16;
+            let src = mk_field(n, bd);
+            let region = Box3::new(Point3::new(-2, 1, 0), Point3::new(15, 16, 13));
+            let mut spec = BrickedField::new(src.layout().clone());
+            let mut gen = BrickedField::new(src.layout().clone());
+            apply_star7_bricked(&mut spec, &src, -6.0, 1.0, region);
+            apply_star7_bricked_generic(&mut gen, &src, -6.0, 1.0, region);
+            assert_eq!(spec.as_slice(), gen.as_slice(), "bd={bd}");
+        }
     }
 
     #[test]

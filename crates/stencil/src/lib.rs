@@ -37,6 +37,7 @@
 //!   metadata used by the performance models.
 
 pub mod analysis;
+mod brick_rows;
 pub mod exec_array;
 pub mod exec_brick;
 pub mod exec_fused;

@@ -1,9 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
 
 use gmg_repro::prelude::*;
-use gmg_repro::stencil::exec_array::run_stencil_array;
+use gmg_repro::stencil::exec_array::{apply_star7_array, run_stencil_array};
 use gmg_repro::stencil::exec_brick::{
-    apply_star7_bricked, par_pointwise_mut2, run_stencil_bricked,
+    apply_star7_bricked, apply_star7_bricked_generic, par_pointwise_mut2, run_stencil_bricked,
 };
 use gmg_repro::stencil::exec_fused::fused_multismooth_bricked;
 use gmg_repro::stencil::expr::StencilDef;
@@ -200,6 +200,48 @@ proptest! {
         prop_assert_eq!(r1.as_slice(), r2.as_slice());
         let expect: u64 = (0..s).map(|k| region.shrink(k as i64).volume() as u64).sum();
         prop_assert_eq!(stats.points_updated, expect);
+    }
+
+    /// The bricked applyOp is bit-identical to the array executor on every
+    /// code path: the shape-specialized kernel (`B4`/`B8`), the generic
+    /// fallback, and the rayon-parallel run at any pool width — over
+    /// regions that are not brick-aligned (partial bricks on every face).
+    /// All paths share the FP grouping
+    /// `α·c + β·((xm+xp) + (ym+yp) + (zm+zp))`, so equality is exact.
+    #[test]
+    fn bricked_applyop_paths_bit_identical_to_array(
+        bd in prop::sample::select(vec![2i64, 3, 4, 5, 8]),
+        threads in 1usize..9,
+        lo in -1i64..3,
+        seed in any::<i64>(),
+    ) {
+        let n = 3 * bd;
+        let v = Box3::cube(n);
+        // Not brick-aligned: partial bricks on every face. `region.grow(1)`
+        // stays inside the bd-cell ghost shell since `lo - 1 >= -2 >= -bd`.
+        let region = Box3::new(Point3::new(lo, lo + 1, lo), Point3::new(n - 1, n, n - 2));
+        let (alpha, beta) = (-6.0, 1.0);
+        let layout = Arc::new(BrickLayout::new(v, bd, 1, BrickOrdering::SurfaceMajor));
+        let src = BrickedField::from_fn(layout.clone(), field_fn(seed));
+        // Shape-specialized dispatch (B4/B8 hit the const-generic kernels).
+        let mut spec = BrickedField::new(layout.clone());
+        apply_star7_bricked(&mut spec, &src, alpha, beta, region);
+        // Forced generic fallback.
+        let mut gen = BrickedField::new(layout.clone());
+        apply_star7_bricked_generic(&mut gen, &src, alpha, beta, region);
+        prop_assert_eq!(spec.as_slice(), gen.as_slice());
+        // Rayon-parallel at an arbitrary pool width.
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let mut par = BrickedField::new(layout.clone());
+        pool.install(|| apply_star7_bricked(&mut par, &src, alpha, beta, region));
+        prop_assert_eq!(spec.as_slice(), par.as_slice());
+        // Array executor reference, same seed field in conventional storage.
+        let src_a = Array3::from_fn(v, bd, field_fn(seed));
+        let mut dst_a = Array3::new(v, bd);
+        apply_star7_array(&mut dst_a, &src_a, alpha, beta, region);
+        let mut ok = true;
+        region.for_each(|p| ok &= spec.get(p) == dst_a[p]);
+        prop_assert!(ok, "bricked != array somewhere in {region:?}");
     }
 
     /// Contiguous-run computation: runs are sorted, disjoint, cover the
