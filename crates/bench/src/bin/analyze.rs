@@ -50,5 +50,7 @@ fn main() {
             }
         }
     }
-    std::process::exit(gmg_bench::profile::with_env_prof(|| run(&opts)));
+    std::process::exit(gmg_bench::profile::with_env_prof(|| {
+        gmg_bench::profile::with_env_metrics(|| run(&opts))
+    }));
 }

@@ -1,6 +1,9 @@
 //! Traced solve with Perfetto export and roofline check.
 //! Run: `cargo run --release -p gmg-bench --bin profile`.
 fn main() {
-    let v = gmg_bench::profile::with_env_prof(gmg_bench::profile::run);
+    // No with_env_trace here: this harness owns its trace capture.
+    let v = gmg_bench::profile::with_env_prof(|| {
+        gmg_bench::profile::with_env_metrics(gmg_bench::profile::run)
+    });
     gmg_bench::report::save("profile", &v);
 }

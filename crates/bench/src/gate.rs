@@ -18,6 +18,7 @@
 //! | `multismooth_fused_vs_sweep_stream` | same schedules at `--grid` (ungated context) | sweep-by-sweep CA |
 //! | `exchange_packfree_vs_packed` | surface-major gather | lexicographic gather |
 //! | `vcycle_fused_vs_sweep`      | V-cycles with fusion | V-cycles without |
+//! | `live_shipper_overhead`      | V-cycles with a gmg-live shipper attached (≥ [`LIVE_OVERHEAD_FLOOR`] floor) | same V-cycles, no telemetry |
 //!
 //! The two hard-floored comparisons are pinned to fixed cache-blocked
 //! sizes rather than `--grid`: blocking's win is a cache-hierarchy claim,
@@ -44,7 +45,11 @@
 //! Every entry's `extra` records `rayon_threads` (the live rayon pool
 //! width) so trajectory comparisons can confirm medians were taken at
 //! like-for-like parallelism; CI pins `RAYON_NUM_THREADS` in the perf
-//! job for exactly this reason.
+//! job for exactly this reason. Likewise every `extra` records the
+//! execution context's `transport` (`GMG_TRANSPORT`, default `thread`)
+//! and `ranks` (`GMG_PROC_NRANKS` when spawned into a process world,
+//! else 1), so entries taken under different transports never get
+//! compared as like-for-like silently.
 //!
 //! Absolute medians — and, since schema 2, per-side p50/p90/p99 plus the
 //! full log-bucketed nanosecond sample histograms (mergeable across
@@ -87,6 +92,13 @@ pub const APPLYOP_BLOCK: i64 = 24;
 pub const MULTISMOOTH_BLOCK: i64 = 32;
 /// Minimum relative regression tolerated before the MAD widening kicks in.
 pub const BASE_TOLERANCE: f64 = 0.10;
+/// Hard floor for the live-telemetry shipper's solve overhead: a V-cycle
+/// run with per-cycle beacons (and production-cadence metric deltas)
+/// shipping into a live collector must stay within ~11% of the
+/// telemetry-free twin (ratio no-telemetry/with-telemetry ≥ 0.9). The
+/// telemetry plane's honesty claim — observability must not tax the
+/// solve — held as an invariant.
+pub const LIVE_OVERHEAD_FLOOR: f64 = 0.9;
 
 /// Gate options (the binary's command line).
 #[derive(Clone, Copy, Debug)]
@@ -340,9 +352,11 @@ fn applyop_at(
     let threads = rayon::current_num_threads() as u64;
     let extra = if with_breakdown {
         let breakdown = applyop_phase_breakdown(&mut dst, &src, alpha, beta, owned);
-        json!({ "grid": n, "brick_dim": 8i64, "rayon_threads": threads, "phase_breakdown": breakdown })
+        json!({ "grid": n, "brick_dim": 8i64, "rayon_threads": threads, "phase_breakdown": breakdown,
+                "transport": run_transport(), "ranks": run_ranks() })
     } else {
-        json!({ "grid": n, "brick_dim": 8i64, "rayon_threads": threads })
+        json!({ "grid": n, "brick_dim": 8i64, "rayon_threads": threads,
+                "transport": run_transport(), "ranks": run_ranks() })
     };
     finish(
         id,
@@ -424,7 +438,8 @@ fn bench_smooth_residual(opts: &GateOpts) -> BenchOut {
         base,
         cand,
         None,
-        json!({ "grid": n, "brick_dim": 8i64, "rayon_threads": threads }),
+        json!({ "grid": n, "brick_dim": 8i64, "rayon_threads": threads,
+                "transport": run_transport(), "ranks": run_ranks() }),
         opts,
     )
 }
@@ -517,6 +532,8 @@ fn multismooth_at(n: i64, id: &'static str, floor: Option<f64>, opts: &GateOpts)
             "tile_cells": tile,
             "fused_doubles_per_point_per_iter": fused_dpp,
             "sweep_doubles_per_point_per_iter": 7.0f64,
+            "transport": run_transport(),
+            "ranks": run_ranks(),
         }),
         opts,
     )
@@ -567,7 +584,8 @@ fn bench_exchange(opts: &GateOpts) -> BenchOut {
         base,
         cand,
         None,
-        json!({ "grid": n, "brick_dim": 8i64, "directions": 26u64, "rayon_threads": threads }),
+        json!({ "grid": n, "brick_dim": 8i64, "directions": 26u64, "rayon_threads": threads,
+                "transport": run_transport(), "ranks": run_ranks() }),
         opts,
     )
 }
@@ -604,9 +622,97 @@ fn bench_vcycle(opts: &GateOpts) -> BenchOut {
         base,
         cand,
         None,
-        json!({ "grid": n, "levels": 3u64, "vcycles": 2u64, "rayon_threads": threads }),
+        json!({ "grid": n, "levels": 3u64, "vcycles": 2u64, "rayon_threads": threads,
+                "transport": run_transport(), "ranks": run_ranks() }),
         opts,
     )
+}
+
+/// Overhead of the gmg-live telemetry plane on a real solve: the same
+/// fixed V-cycle run with and without a per-rank shipper attached to the
+/// solver's progress hook. The candidate ships a beacon every cycle and
+/// (delta period 0 → every beacon) a metrics delta into a live in-process
+/// collector, metrics registry enabled on both sides so the comparison
+/// isolates the *shipping*, not the metering.
+fn bench_live_overhead(opts: &GateOpts) -> BenchOut {
+    use gmg_live::{AlertConfig, Beacon, Collector, Shipper};
+    let n = (opts.grid / 2).max(16);
+    let decomp = Decomposition::new(Box3::cube(n), Point3::splat(1));
+    let cfg = SolverConfig {
+        num_levels: 3,
+        tolerance: 0.0,
+        max_vcycles: 2,
+        brick_dim: 8,
+        ..SolverConfig::test_default()
+    };
+    let was_enabled = gmg_metrics::enable();
+    let solve = |with_live: bool, samples: usize| {
+        let d = &decomp;
+        time_median(samples, || {
+            let collector = Collector::new(AlertConfig::default()).into_handle();
+            timed(|| {
+                RankWorld::run(1, move |mut ctx| {
+                    let mut s = GmgSolver::new(d.clone(), ctx.rank(), cfg);
+                    if with_live {
+                        // Production cadence: a beacon every cycle (the
+                        // hot path), deltas on the default 100 ms period
+                        // — a per-cycle delta would make the measurement
+                        // scale with whatever the process-global registry
+                        // happens to hold, not with the shipper.
+                        let mut shipper = Shipper::local(ctx.rank(), Arc::clone(&collector))
+                            .expect("live enabled");
+                        s.progress_hook = Some(Box::new(move |p| {
+                            shipper.beacon(&Beacon {
+                                rank: 0,
+                                cycle: p.cycle as u64,
+                                residual: p.residual,
+                                epoch: p.epoch,
+                                level_seconds: p.level_seconds.clone(),
+                                done: false,
+                            });
+                        }));
+                    }
+                    s.solve(&mut ctx);
+                });
+            })
+        })
+    };
+    // One untimed warmup of each twin: quick 1-sample runs would
+    // otherwise charge first-run world setup to the candidate side.
+    solve(true, 1);
+    solve(false, 1);
+    let cand = solve(true, opts.samples);
+    let base = solve(false, opts.samples);
+    if !was_enabled {
+        gmg_metrics::disable();
+    }
+    let threads = rayon::current_num_threads() as u64;
+    finish(
+        "live_shipper_overhead",
+        "V-cycles, no telemetry",
+        "V-cycles + live shipper",
+        base,
+        cand,
+        Some(LIVE_OVERHEAD_FLOOR),
+        json!({ "grid": n, "levels": 3u64, "vcycles": 2u64, "rayon_threads": threads,
+                "transport": run_transport(), "ranks": run_ranks() }),
+        opts,
+    )
+}
+
+/// Execution context recorded in every entry's extras: the comm transport
+/// this process rides (`GMG_TRANSPORT`, default the in-process `thread`
+/// world) and its world size (`GMG_PROC_NRANKS` when spawned as a
+/// process-world rank, else 1).
+fn run_transport() -> String {
+    std::env::var("GMG_TRANSPORT").unwrap_or_else(|_| "thread".to_string())
+}
+
+fn run_ranks() -> u64 {
+    std::env::var("GMG_PROC_NRANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -652,6 +758,7 @@ pub fn run_suite(opts: &GateOpts) -> Vec<BenchOut> {
         ("multi-smooth-stream", bench_multismooth_stream),
         ("exchange", bench_exchange),
         ("vcycle", bench_vcycle),
+        ("live-overhead", bench_live_overhead),
     ] {
         println!("running {name} ...");
         let b = f(opts);
@@ -854,10 +961,14 @@ mod tests {
     fn suite_runs_and_produces_sane_ratios() {
         let opts = tiny_opts();
         let benches = run_suite(&opts);
-        assert_eq!(benches.len(), 7);
+        assert_eq!(benches.len(), 8);
         for b in &benches {
             assert!(b.ratio.is_finite() && b.ratio > 0.0, "{}: {:?}", b.id, b);
             assert!(b.baseline.median > 0.0 && b.candidate.median > 0.0);
+            // Every entry's extras must name the execution context
+            // (exact values depend on the harness environment).
+            assert!(b.extra["transport"].as_str().is_some(), "{}", b.id);
+            assert!(b.extra["ranks"].as_u64().is_some(), "{}", b.id);
         }
         // The traffic invariant is deterministic at any size.
         let ms = benches
@@ -1059,7 +1170,7 @@ mod tests {
         assert_eq!(i, 2);
         assert_eq!(v["entry"].as_u64(), Some(2));
         let rows = v["benchmarks"].as_array().unwrap();
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         assert_eq!(rows[0]["id"].as_str(), Some("applyop_bricked_vs_array"));
         // And the fresh run gates cleanly against its own entry.
         assert!(check(&b, Some(&v)).is_empty());

@@ -38,9 +38,14 @@
 //! observatory (gmg-prof folded stacks, per-phase decomposition of the
 //! bricked applyOp, roofline columns, sampled-vs-traced cross-validation,
 //! `--inject-slowdown PHASE:PCT` attribution self-test), run via
-//! `--bin flame`.
-//! Every binary honours `GMG_TRACE=<path>` to capture a trace of its run
-//! and `GMG_PROF=<path>` to write folded sampling stacks of its run.
+//! `--bin flame` — and [`live`] — the cross-process live telemetry demo
+//! (per-rank gmg-live shippers, mid-solve Prometheus scrape, straggler /
+//! silent-rank alerting with both polarities exit-code-enforced), run via
+//! `--bin live -- --seed N` (`--inject-slowdown R` plants a straggler,
+//! `--kill-process R` SIGKILLs a rank mid-solve).
+//! Every binary honours `GMG_TRACE=<path>` to capture a trace of its run,
+//! `GMG_PROF=<path>` to write folded sampling stacks of its run, and
+//! `GMG_METRICS=<path>` to write its final metrics snapshot as JSON.
 //!
 //! Each `run()` prints the same rows/series the paper reports and returns a
 //! JSON value; binaries also persist it under `results/`. Criterion
@@ -58,6 +63,7 @@ pub mod figure8;
 pub mod figure9;
 pub mod flame;
 pub mod gate;
+pub mod live;
 pub mod measured;
 pub mod plot;
 pub mod postmortem;

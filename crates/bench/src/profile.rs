@@ -83,10 +83,49 @@ pub fn with_prof_to<T>(path: Option<PathBuf>, f: impl FnOnce() -> T) -> T {
     out
 }
 
-/// Both env hooks at once: `GMG_TRACE` (Chrome trace) and `GMG_PROF`
-/// (folded stacks). Every harness binary wraps its `run()` in this.
+/// If `GMG_METRICS=<path>` is set, enable the global metrics registry
+/// around `f` and write the final snapshot (what grew during the run) to
+/// `<path>` as schema-1 JSON; otherwise run `f` directly. Mirrors
+/// [`with_env_trace`].
+pub fn with_env_metrics<T>(f: impl FnOnce() -> T) -> T {
+    with_metrics_to(std::env::var_os("GMG_METRICS").map(PathBuf::from), f)
+}
+
+/// Env-independent core of [`with_env_metrics`]: snapshot to `path` if
+/// given. The write is a *delta* over the run (the registry is
+/// process-global and may already hold rows), so the file reflects this
+/// run's activity.
+pub fn with_metrics_to<T>(path: Option<PathBuf>, f: impl FnOnce() -> T) -> T {
+    let Some(path) = path else { return f() };
+    let before = gmg_metrics::Registry::global().snapshot();
+    let was_enabled = gmg_metrics::enable();
+    let out = f();
+    if !was_enabled {
+        gmg_metrics::disable();
+    }
+    let delta = gmg_metrics::Registry::global()
+        .snapshot()
+        .delta_since(&before);
+    let dir = crate::report::ensure_dir(Some(
+        path.parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from(".")),
+    ));
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "metrics.json".into());
+    let path = crate::report::save_raw_in(&dir, &name, &delta.to_json().to_string());
+    eprintln!("[metrics: {} rows -> {path:?}]", delta.entries.len());
+    out
+}
+
+/// All env hooks at once: `GMG_TRACE` (Chrome trace), `GMG_PROF` (folded
+/// stacks), and `GMG_METRICS` (final metrics snapshot JSON). Every
+/// harness binary wraps its `run()` in this.
 pub fn with_env_hooks<T>(f: impl FnOnce() -> T) -> T {
-    with_env_trace(|| with_env_prof(f))
+    with_env_trace(|| with_env_prof(|| with_env_metrics(f)))
 }
 
 /// Problem the profiler runs: a fixed number of V-cycles so the timed work

@@ -39,6 +39,9 @@ pub enum FrameKind {
     Ack = 1,
     /// A membership/control-plane message (never enters the ARQ layer).
     Control = 2,
+    /// A loss-tolerant telemetry message (gmg-live sidecar; best-effort,
+    /// no ARQ, epoch-fenced by the collector).
+    Telemetry = 3,
 }
 
 /// A decoded frame.
@@ -188,6 +191,7 @@ impl Frame {
             0 => FrameKind::Data,
             1 => FrameKind::Ack,
             2 => FrameKind::Control,
+            3 => FrameKind::Telemetry,
             k => return Err(FrameError::BadKind { kind: k }),
         };
         let declared = rd_u32(40) as usize;
@@ -311,7 +315,7 @@ impl Reassembler {
                 src: f.src as usize,
                 seq: f.seq,
             }),
-            FrameKind::Control => None,
+            FrameKind::Control | FrameKind::Telemetry => None,
             FrameKind::Data => {
                 if f.frag_count == 1 {
                     self.partial.remove(&f.src);
@@ -384,6 +388,18 @@ mod tests {
     fn round_trip() {
         let f = sample();
         assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn telemetry_kind_round_trips_and_never_reassembles() {
+        let f = Frame {
+            kind: FrameKind::Telemetry,
+            ..sample()
+        };
+        let back = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(back, f);
+        // A telemetry frame must never surface as ARQ traffic.
+        assert!(Reassembler::default().accept(back).is_none());
     }
 
     #[test]

@@ -89,6 +89,13 @@ fn beat_sock_path(dir: &Path, rank: usize) -> PathBuf {
     dir.join(format!("h{rank}.sock"))
 }
 
+/// The world's gmg-live telemetry sidecar socket. Public so a per-rank
+/// shipper can address it from `GMG_PROC_DIR`; datagrams here are
+/// loss-tolerant [`FrameKind::Telemetry`] frames, never ARQ traffic.
+pub fn telemetry_sock_path(dir: &Path) -> PathBuf {
+    dir.join("t.sock")
+}
+
 fn out_path(dir: &Path, rank: usize) -> PathBuf {
     dir.join(format!("out_r{rank}.txt"))
 }
@@ -140,6 +147,23 @@ fn enc_cycle(c: i64) -> u64 {
     (c + 1).max(0) as u64
 }
 
+/// Drain every pending datagram on the telemetry sidecar into the
+/// embedded collector sink, stamping each with the controller's current
+/// membership epoch (the sink fences stale-epoch frames itself).
+fn drain_telemetry(
+    sock: Option<&UnixDatagram>,
+    sink: &mut Option<Box<dyn FnMut(&[u8], u64)>>,
+    epoch: u64,
+) {
+    let (Some(sock), Some(sink)) = (sock, sink.as_mut()) else {
+        return;
+    };
+    let mut buf = vec![0u8; MAX_FRAME_LEN];
+    while let Ok(n) = sock.recv(&mut buf) {
+        sink(&buf[..n], epoch);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Child side
 // ---------------------------------------------------------------------
@@ -170,6 +194,10 @@ impl Drop for MembershipClient {
 impl MembershipClient {
     pub(crate) fn rejoining(&self) -> bool {
         self.rejoining
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     pub(crate) fn ckpt_dir(&self) -> &Path {
@@ -559,6 +587,7 @@ pub struct ProcessWorld {
     kill_at: Option<(usize, u64)>,
     max_rejoins: u32,
     deadline: Duration,
+    telemetry_sink: Option<Box<dyn FnMut(&[u8], u64)>>,
 }
 
 impl ProcessWorld {
@@ -579,6 +608,7 @@ impl ProcessWorld {
             kill_at: None,
             max_rejoins: 4,
             deadline: Duration::from_secs(120),
+            telemetry_sink: None,
         }
     }
 
@@ -620,8 +650,18 @@ impl ProcessWorld {
         self
     }
 
+    /// Embed a telemetry collector: the controller binds the world's
+    /// sidecar socket ([`telemetry_sock_path`]) and hands every datagram
+    /// that arrives there to `sink` together with its current membership
+    /// epoch. Telemetry is best-effort — a full socket buffer drops
+    /// frames, and no sink means the socket is never bound.
+    pub fn telemetry_sink(mut self, sink: Box<dyn FnMut(&[u8], u64)>) -> Self {
+        self.telemetry_sink = Some(sink);
+        self
+    }
+
     /// Spawn, supervise, rejoin as needed, and collect results.
-    pub fn run(self) -> Result<ProcessReport, String> {
+    pub fn run(mut self) -> Result<ProcessReport, String> {
         static WORLD_SEQ: AtomicU64 = AtomicU64::new(0);
         let dir = std::env::temp_dir().join(format!(
             "gmg-procworld-{}-{}",
@@ -638,10 +678,19 @@ impl ProcessWorld {
         out
     }
 
-    fn run_in(&self, dir: &Path) -> Result<ProcessReport, String> {
+    fn run_in(&mut self, dir: &Path) -> Result<ProcessReport, String> {
         let ctl_path = ctl_sock_path(dir);
         let ctl = UnixDatagram::bind(&ctl_path).map_err(|e| format!("bind controller: {e}"))?;
         let tx = UnixDatagram::unbound().map_err(|e| e.to_string())?;
+        let tele = if self.telemetry_sink.is_some() {
+            let path = telemetry_sock_path(dir);
+            let _ = std::fs::remove_file(&path);
+            let s = UnixDatagram::bind(&path).map_err(|e| format!("bind telemetry: {e}"))?;
+            s.set_nonblocking(true).ok();
+            Some(s)
+        } else {
+            None
+        };
 
         let mut ranks: Vec<RankState> = (0..self.nranks)
             .map(|r| self.spawn_child(dir, r, false).map(new_rank_state))
@@ -704,6 +753,8 @@ impl ProcessWorld {
                     }
                 }
             }
+
+            drain_telemetry(tele.as_ref(), &mut self.telemetry_sink, epoch);
 
             // Chaos trigger: a real SIGKILL, driven by reported progress.
             if let Some((kr, kc)) = kill_armed {
@@ -788,6 +839,8 @@ impl ProcessWorld {
         for s in &mut ranks {
             let _ = s.child.wait();
         }
+        // Scoop any trailing end-of-solve telemetry still in the buffer.
+        drain_telemetry(tele.as_ref(), &mut self.telemetry_sink, epoch);
         let results = (0..self.nranks)
             .map(|r| std::fs::read_to_string(out_path(dir, r)).map_err(|e| e.to_string()))
             .collect::<Result<Vec<_>, _>>()?;

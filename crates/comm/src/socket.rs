@@ -204,6 +204,15 @@ impl SocketTransport {
             // control frame on the data plane is dropped.
             return;
         }
+        if f.kind == FrameKind::Telemetry {
+            // Telemetry rides the gmg-live sidecar socket; a stray
+            // telemetry frame on the data plane is dropped (counted) so it
+            // can never contaminate the ARQ tag/seq spaces.
+            if gmg_metrics::enabled() {
+                gmg_metrics::counter("telemetry_misrouted_total", self.rank, None, "frame").inc();
+            }
+            return;
+        }
         if f.epoch < self.epoch {
             if gmg_metrics::enabled() {
                 gmg_metrics::counter("epoch_fenced_frames_total", self.rank, None, "frame").inc();

@@ -41,5 +41,5 @@ pub use problem::PoissonProblem;
 pub use rejoin::{RejoinStore, SolverCheckpoint};
 pub use schedule::{ScheduleConfig, SimLevelBreakdown, SimResult};
 pub use smoother::Smoother;
-pub use solver::{GmgSolver, SolveStats, SolverConfig};
+pub use solver::{GmgSolver, SolveProgress, SolveStats, SolverConfig};
 pub use timers::{OpTimer, TimerReport};

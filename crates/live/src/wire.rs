@@ -1,0 +1,121 @@
+//! Telemetry message wire format over the gmg-comm frame codec.
+//!
+//! Every telemetry message is one self-contained
+//! [`FrameKind::Telemetry`] frame: a JSON document packed into the
+//! frame's `f64` payload (length-prefixed, 8 bytes per double). One
+//! message per frame — never fragmented — so losing any frame loses
+//! exactly one message and nothing has to be reassembled; a shipper
+//! with more to say than fits in one frame splits at the *message*
+//! level into independently meaningful chunks.
+//!
+//! The telemetry plane has its own `tag` vocabulary ([`TAG_BEACON`] /
+//! [`TAG_DELTA`] / [`TAG_DIGEST`]) and its own per-rank `seq` counter,
+//! both completely disjoint from the ARQ data plane's spaces: the frame
+//! `kind` byte keeps the two apart at decode time (a telemetry frame
+//! that strays onto a data socket is dropped and counted, and vice
+//! versa nothing on the sidecar ever reaches a reassembler).
+
+use gmg_comm::frame::{Frame, FrameKind, MAX_FRAGMENT_DOUBLES};
+
+/// Heartbeat/progress beacon (cycle, residual, per-level op seconds).
+pub const TAG_BEACON: u64 = 1;
+/// A `gmg_metrics::Snapshot` delta (JSON, schema 1).
+pub const TAG_DELTA: u64 = 2;
+/// Compact flight/trace digest.
+pub const TAG_DIGEST: u64 = 3;
+
+/// Longest JSON text one telemetry frame can carry.
+pub const MAX_TEXT_BYTES: usize = (MAX_FRAGMENT_DOUBLES - 1) * 8;
+
+/// Pack UTF-8 text into a length-prefixed `f64` payload: the first
+/// double bit-casts the byte length, the rest carry the bytes in
+/// zero-padded little-endian 8-byte chunks.
+pub fn pack_text(text: &str) -> Vec<f64> {
+    let bytes = text.as_bytes();
+    assert!(bytes.len() <= MAX_TEXT_BYTES, "telemetry message too large");
+    let mut payload = Vec::with_capacity(1 + bytes.len().div_ceil(8));
+    payload.push(f64::from_bits(bytes.len() as u64));
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        payload.push(f64::from_bits(u64::from_le_bytes(word)));
+    }
+    payload
+}
+
+/// Inverse of [`pack_text`]; `None` on any inconsistency (telemetry is
+/// loss-tolerant, so a malformed payload is simply a lost message).
+pub fn unpack_text(payload: &[f64]) -> Option<String> {
+    let len = payload.first()?.to_bits() as usize;
+    if len > MAX_TEXT_BYTES || payload.len() != 1 + len.div_ceil(8) {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(len);
+    for v in &payload[1..] {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    bytes.truncate(len);
+    String::from_utf8(bytes).ok()
+}
+
+/// Encode one telemetry message as a single wire frame.
+pub fn telemetry_frame(rank: usize, tag: u64, seq: u64, epoch: u64, text: &str) -> Vec<u8> {
+    Frame {
+        kind: FrameKind::Telemetry,
+        src: rank as u32,
+        dst: 0,
+        tag,
+        seq,
+        epoch,
+        frag_index: 0,
+        frag_count: 1,
+        arq_checksum: 0,
+        payload: pack_text(text),
+    }
+    .encode()
+}
+
+/// Decode a frame's text if (and only if) it is a telemetry frame.
+pub fn parse_telemetry(frame: &Frame) -> Option<(u64, String)> {
+    if frame.kind != FrameKind::Telemetry {
+        return None;
+    }
+    Some((frame.tag, unpack_text(&frame.payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trips_through_a_wire_frame() {
+        for text in [
+            "",
+            "x",
+            "{\"kind\":\"beacon\",\"cycle\":3}",
+            &"π≠".repeat(999),
+        ] {
+            let bytes = telemetry_frame(2, TAG_BEACON, 7, 1, text);
+            let f = Frame::decode(&bytes).unwrap();
+            assert_eq!(f.kind, FrameKind::Telemetry);
+            assert_eq!((f.src, f.tag, f.seq, f.epoch), (2, TAG_BEACON, 7, 1));
+            assert_eq!(parse_telemetry(&f).unwrap().1, text);
+        }
+    }
+
+    #[test]
+    fn non_telemetry_frames_parse_to_none() {
+        let mut f = Frame::decode(&telemetry_frame(0, TAG_DELTA, 0, 0, "{}")).unwrap();
+        f.kind = FrameKind::Data;
+        assert!(parse_telemetry(&f).is_none());
+    }
+
+    #[test]
+    fn malformed_payload_is_a_lost_message_not_a_panic() {
+        assert_eq!(unpack_text(&[]), None);
+        // Declared length longer than the payload carries.
+        assert_eq!(unpack_text(&[f64::from_bits(64), 0.0]), None);
+        // Declared length beyond the frame ceiling.
+        assert_eq!(unpack_text(&[f64::from_bits(u64::MAX)]), None);
+    }
+}

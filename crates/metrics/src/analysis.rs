@@ -670,6 +670,56 @@ pub fn utilization(trace: &Trace) -> Vec<RankUtil> {
 /// Smallest population per `(level, op)` before MAD statistics apply.
 const OUTLIER_MIN_SAMPLES: usize = 8;
 
+/// One sample's verdict from [`mad_outliers`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MadVerdict {
+    pub flagged: bool,
+    /// Robust z-score `(sample - median) / σ_MAD`.
+    pub score: f64,
+    pub median: f64,
+    pub threshold: f64,
+}
+
+/// The reusable robust-outlier core shared by [`outliers`] and the
+/// gmg-live straggler alert: each sample is judged against
+/// `median + max(5·σ_MAD, 0.5·median, abs_floor)` where
+/// `σ_MAD = max(1.4826·MAD, 1)`. Returns one verdict per input sample
+/// (in input order); fewer than `min_samples` inputs flag nothing.
+pub fn mad_outliers(samples: &[f64], min_samples: usize, abs_floor: f64) -> Vec<MadVerdict> {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if sorted.len() < min_samples.max(1) {
+        return samples
+            .iter()
+            .map(|&s| MadVerdict {
+                flagged: false,
+                score: 0.0,
+                median: s,
+                threshold: f64::INFINITY,
+            })
+            .collect();
+    }
+    let median = sorted[sorted.len() / 2];
+    let mut devs: Vec<f64> = sorted.iter().map(|&d| (d - median).abs()).collect();
+    devs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mad = devs[devs.len() / 2];
+    let sigma = (1.4826 * mad).max(1.0);
+    let threshold = median + (5.0 * sigma).max(0.5 * median).max(abs_floor);
+    samples
+        .iter()
+        .map(|&s| MadVerdict {
+            flagged: s.is_finite() && s > threshold,
+            score: if s.is_finite() {
+                (s - median) / sigma
+            } else {
+                0.0
+            },
+            median,
+            threshold,
+        })
+        .collect()
+}
+
 /// MAD-based straggler detection over compute-span durations. A span is
 /// flagged when it exceeds `median + max(5·σ_MAD, 0.5·median, 10 µs)` —
 /// the robust-z threshold catches stalls, the relative and absolute
@@ -686,24 +736,18 @@ pub fn outliers(trace: &Trace) -> Vec<Outlier> {
         if evs.len() < OUTLIER_MIN_SAMPLES {
             continue;
         }
-        let mut durs: Vec<u64> = evs.iter().map(|e| e.dur_ns).collect();
-        durs.sort_unstable();
-        let median = durs[durs.len() / 2];
-        let mut devs: Vec<u64> = durs.iter().map(|&d| d.abs_diff(median)).collect();
-        devs.sort_unstable();
-        let mad = devs[devs.len() / 2];
-        let sigma = (1.4826 * mad as f64).max(1.0);
-        let threshold = median as f64 + (5.0 * sigma).max(0.5 * median as f64).max(10_000.0);
-        for e in evs {
-            if (e.dur_ns as f64) > threshold {
+        let durs: Vec<f64> = evs.iter().map(|e| e.dur_ns as f64).collect();
+        let verdicts = mad_outliers(&durs, OUTLIER_MIN_SAMPLES, 10_000.0);
+        for (e, v) in evs.iter().zip(&verdicts) {
+            if v.flagged {
                 out.push(Outlier {
                     rank: e.rank,
                     level: (level != LEVEL_NONE).then_some(level),
                     op: op.to_string(),
                     ts_ns: e.ts_ns,
                     dur_ns: e.dur_ns,
-                    median_ns: median,
-                    score: (e.dur_ns as f64 - median as f64) / sigma,
+                    median_ns: v.median as u64,
+                    score: v.score,
                 });
             }
         }
@@ -1379,6 +1423,27 @@ mod tests {
         assert_eq!((out[0].rank, out[0].op.as_str()), (1, "smooth"));
         assert_eq!(out[0].median_ns, 10_000_000);
         assert!(out[0].score > 5.0);
+    }
+
+    #[test]
+    fn mad_outliers_core_flags_straggler_and_respects_min_samples() {
+        // A 4-sample population (one per rank, as the live alert engine
+        // sees it): three uniform ranks and one 10× straggler.
+        let samples = [1.0e6, 1.1e6, 0.9e6, 1.0e7];
+        let v = mad_outliers(&samples, 3, 10_000.0);
+        assert_eq!(
+            v.iter().map(|x| x.flagged).collect::<Vec<_>>(),
+            [false, false, false, true]
+        );
+        assert!(v[3].score > 5.0);
+        // Below min_samples nothing flags, whatever the spread.
+        assert!(mad_outliers(&samples, 5, 10_000.0)
+            .iter()
+            .all(|x| !x.flagged));
+        // Uniform populations never flag.
+        assert!(mad_outliers(&[5.0; 8], 3, 10_000.0)
+            .iter()
+            .all(|x| !x.flagged));
     }
 
     fn env() -> MachineEnvelope {
