@@ -50,6 +50,9 @@ fn main() {
             }
         }
     }
+    // No with_env_trace here: GMG_TRACE is this harness's *export*
+    // channel (the analyzed — possibly injection-scaled — trace); an
+    // outer capture would overwrite it with a trace of the analyzer.
     std::process::exit(gmg_bench::profile::with_env_prof(|| {
         gmg_bench::profile::with_env_metrics(|| run(&opts))
     }));

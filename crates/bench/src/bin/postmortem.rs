@@ -34,11 +34,9 @@ fn main() {
             }
         }
     }
-    let v = gmg_bench::profile::with_env_prof(|| {
-        gmg_bench::profile::with_env_metrics(|| match dump {
-            Some(dir) => gmg_bench::postmortem::analyze_dump(&dir),
-            None => gmg_bench::postmortem::run_seeded(seed),
-        })
+    let v = gmg_bench::profile::with_env_hooks(|| match dump {
+        Some(dir) => gmg_bench::postmortem::analyze_dump(&dir),
+        None => gmg_bench::postmortem::run_seeded(seed),
     });
     gmg_bench::report::save("postmortem", &v);
     if v["ok"] != serde_json::Value::Bool(true) {

@@ -19,6 +19,7 @@
 //! | `exchange_packfree_vs_packed` | surface-major gather | lexicographic gather |
 //! | `vcycle_fused_vs_sweep`      | V-cycles with fusion | V-cycles without |
 //! | `live_shipper_overhead`      | V-cycles with a gmg-live shipper attached (≥ [`LIVE_OVERHEAD_FLOOR`] floor) | same V-cycles, no telemetry |
+//! | `sim_events_per_sec`         | gmg-scale 1000-rank V-cycle simulation (≥ 1.0× floor) | [`SIM_EVENT_BUDGET_NS`] ns/event budget |
 //!
 //! The two hard-floored comparisons are pinned to fixed cache-blocked
 //! sizes rather than `--grid`: blocking's win is a cache-hierarchy claim,
@@ -99,6 +100,14 @@ pub const BASE_TOLERANCE: f64 = 0.10;
 /// telemetry plane's honesty claim — observability must not tax the
 /// solve — held as an invariant.
 pub const LIVE_OVERHEAD_FLOOR: f64 = 0.9;
+
+/// Per-simulated-event time budget for the scaling observatory's
+/// schedule simulator, nanoseconds. The budget is the *baseline* of the
+/// `sim_events_per_sec` entry: the 1000-rank clock-only observatory
+/// V-cycle simulation must process events at least this fast (measured
+/// ~5 ns/event single-threaded, so 50 ns is ~10× headroom for CI noise)
+/// or the 10k-rank sweep stops being a laptop-class operation.
+pub const SIM_EVENT_BUDGET_NS: f64 = 50.0;
 
 /// Gate options (the binary's command line).
 #[derive(Clone, Copy, Debug)]
@@ -700,6 +709,41 @@ fn bench_live_overhead(opts: &GateOpts) -> BenchOut {
     )
 }
 
+/// Simulator throughput vs a fixed per-event budget: the candidate is
+/// the measured wall time of the 1000-rank clock-only observatory
+/// simulation, the baseline is [`SIM_EVENT_BUDGET_NS`] per simulated
+/// event. Floor 1.0 ⇒ the simulator must beat its budget outright, so
+/// the scaling observatory itself can't silently regress below
+/// laptop-class feasibility.
+fn bench_sim_throughput(opts: &GateOpts) -> BenchOut {
+    let cfg = gmg_scale::ScaleConfig::observatory(gmg_machine::gpu::System::Perlmutter, 1000);
+    let events = gmg_scale::simulate(&cfg).sim_events; // warmup + event count
+    let cand = time_median(opts.samples, || {
+        timed(|| {
+            gmg_scale::simulate(&cfg);
+        })
+    });
+    let base = Stats::synthetic(events as f64 * SIM_EVENT_BUDGET_NS * 1e-9, 0.0);
+    let events_per_sec = events as f64 / cand.median;
+    let threads = rayon::current_num_threads() as u64;
+    finish(
+        "sim_events_per_sec",
+        "event budget",
+        "schedule simulation",
+        base,
+        cand,
+        Some(SIM_THROUGHPUT_FLOOR),
+        json!({ "sim_ranks": 1000u64, "sim_events": events, "events_per_sec": events_per_sec,
+                "budget_ns_per_event": SIM_EVENT_BUDGET_NS, "rayon_threads": threads,
+                "transport": run_transport(), "ranks": run_ranks() }),
+        opts,
+    )
+}
+
+/// Hard floor of the [`bench_sim_throughput`] comparison (budget time /
+/// measured time must be ≥ 1 — the simulator beats its budget).
+pub const SIM_THROUGHPUT_FLOOR: f64 = 1.0;
+
 /// Execution context recorded in every entry's extras: the comm transport
 /// this process rides (`GMG_TRANSPORT`, default the in-process `thread`
 /// world) and its world size (`GMG_PROC_NRANKS` when spawned as a
@@ -759,6 +803,7 @@ pub fn run_suite(opts: &GateOpts) -> Vec<BenchOut> {
         ("exchange", bench_exchange),
         ("vcycle", bench_vcycle),
         ("live-overhead", bench_live_overhead),
+        ("sim-throughput", bench_sim_throughput),
     ] {
         println!("running {name} ...");
         let b = f(opts);
@@ -961,7 +1006,7 @@ mod tests {
     fn suite_runs_and_produces_sane_ratios() {
         let opts = tiny_opts();
         let benches = run_suite(&opts);
-        assert_eq!(benches.len(), 8);
+        assert_eq!(benches.len(), 9);
         for b in &benches {
             assert!(b.ratio.is_finite() && b.ratio > 0.0, "{}: {:?}", b.id, b);
             assert!(b.baseline.median > 0.0 && b.candidate.median > 0.0);
@@ -1170,7 +1215,7 @@ mod tests {
         assert_eq!(i, 2);
         assert_eq!(v["entry"].as_u64(), Some(2));
         let rows = v["benchmarks"].as_array().unwrap();
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 9);
         assert_eq!(rows[0]["id"].as_str(), Some("applyop_bricked_vs_array"));
         // And the fresh run gates cleanly against its own entry.
         assert!(check(&b, Some(&v)).is_empty());

@@ -42,7 +42,12 @@
 //! (per-rank gmg-live shippers, mid-solve Prometheus scrape, straggler /
 //! silent-rank alerting with both polarities exit-code-enforced), run via
 //! `--bin live -- --seed N` (`--inject-slowdown R` plants a straggler,
-//! `--kill-process R` SIGKILLs a rank mid-solve).
+//! `--kill-process R` SIGKILLs a rank mid-solve) — and [`scaling`] — the
+//! 10k-rank scaling observatory (contention-modeled schedule simulation
+//! via `gmg-scale`, weak/strong sweeps, alpha–beta+contention model fit,
+//! flight-grade wait attribution, rank-window Perfetto forensics, and
+//! the planted-slowdown polarity self-test), run via `--bin scaling`
+//! (`--ranks N`, `--inject-slowdown LEVEL:PCT`, `--window A:B`).
 //! Every binary honours `GMG_TRACE=<path>` to capture a trace of its run,
 //! `GMG_PROF=<path>` to write folded sampling stacks of its run, and
 //! `GMG_METRICS=<path>` to write its final metrics snapshot as JSON.
@@ -69,6 +74,7 @@ pub mod plot;
 pub mod postmortem;
 pub mod profile;
 pub mod report;
+pub mod scaling;
 pub mod table2;
 pub mod table3;
 pub mod table4;

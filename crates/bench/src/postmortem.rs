@@ -67,8 +67,10 @@ fn culprit(logs: &[RankLog], waits: &WaitAnalysis) -> (usize, String) {
 }
 
 /// Reconstruct a merged distributed [`Trace`] from the dumped rings, so
-/// the generic analysis/exporter stack can consume flight data.
-fn rebuild_trace(logs: &[RankLog]) -> Trace {
+/// the generic analysis/exporter stack can consume flight data. Shared
+/// with the scaling observatory, which rebuilds its simulated rank
+/// window the same way.
+pub(crate) fn rebuild_trace(logs: &[RankLog]) -> Trace {
     let mut events = Vec::new();
     for log in logs {
         for ev in &log.events {
@@ -126,7 +128,7 @@ fn rebuild_trace(logs: &[RankLog]) -> Trace {
 }
 
 /// Exact happens-before edges in the two downstream vocabularies.
-fn exact_edges(waits: &WaitAnalysis) -> (Vec<gmg_metrics::MessageEdge>, Vec<FlowArrow>) {
+pub(crate) fn exact_edges(waits: &WaitAnalysis) -> (Vec<gmg_metrics::MessageEdge>, Vec<FlowArrow>) {
     let metric = waits
         .edges
         .iter()

@@ -15,6 +15,9 @@
 //! * [`recorder`] — the process-wide switch, per-thread installation
 //!   (`install`), level scoping, and the typed `record_*` helpers the
 //!   comm runtime and solver call.
+//! * [`synth`] — `Vec`-backed builders producing the same `RankLog`
+//!   schema for *simulated* worlds (the `gmg-scale` observatory), so
+//!   the analysis layer runs on modelled timelines unchanged.
 //! * [`waitstate`] + [`dump`] — offline analysis: join send/recv pairs
 //!   into causal cross-rank message edges, classify every comm wait
 //!   (late-sender / late-receiver / ARQ-stall / starvation), and persist
@@ -28,6 +31,7 @@
 pub mod dump;
 pub mod recorder;
 pub mod ring;
+pub mod synth;
 pub mod waitstate;
 
 pub use dump::{dump_installed, dump_world, dump_world_to, load_dump, merge_dumps, DumpBundle};
@@ -39,6 +43,7 @@ pub use recorder::{
 pub use ring::{
     default_capacity, EventKind, FlightEvent, FlightRing, NO_LEVEL, NO_MSG_SEQ, NO_PEER, NO_TAG,
 };
+pub use synth::{into_logs, SynthLog};
 pub use waitstate::{
     analyze, MessageEdge, RankLog, WaitAnalysis, WaitClass, WaitSample, WaitStats,
 };

@@ -129,7 +129,7 @@ pub struct MessageEdge {
 }
 
 /// One classified wait, for per-rank / per-peer drill-down.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WaitSample {
     pub rank: usize,
     pub level: Option<usize>,

@@ -30,7 +30,9 @@ pub mod http;
 pub mod ship;
 pub mod wire;
 
-pub use alert::{Alert, AlertConfig, AlertEngine, AlertKind, RankObservation};
+pub use alert::{
+    silent_ms_from, Alert, AlertConfig, AlertEngine, AlertKind, RankObservation, DEFAULT_SILENT_MS,
+};
 pub use collect::{Collector, CollectorHandle};
 pub use http::{http_get, PromServer, PROM_ADDR_ENV};
 pub use ship::{live_enabled, Beacon, Shipper};

@@ -23,12 +23,14 @@
 //! aggregates, potential speedups — is **recomputed** from these primitives
 //! by the harnesses, so the models stay internally consistent.
 
+pub mod contention;
 pub mod gpu;
 pub mod microbench;
 pub mod model;
 pub mod portability;
 pub mod timing;
 
+pub use contention::ContentionModel;
 pub use gpu::{GpuModel, OpEfficiency, System};
 pub use microbench::HostRoofline;
 pub use model::LatencyThroughput;

@@ -264,19 +264,29 @@ impl Timelines {
 
     fn build_with(trace: &Trace, edges: &[MessageEdge]) -> Timelines {
         let ranks = trace.ranks();
+        // Bucket per (rank, track) in ONE pass over the event list. A
+        // per-rank `track_events` filter would be O(ranks × events) —
+        // ruinous for the 10k-rank simulated traces the scaling
+        // observatory feeds through here.
+        let mut compute_by: BTreeMap<usize, Vec<TEv>> = BTreeMap::new();
+        let mut comm_by: BTreeMap<usize, Vec<TEv>> = BTreeMap::new();
+        for e in &trace.events {
+            match e.track {
+                Track::Compute => compute_by.entry(e.rank).or_default().push(TEv::from(e)),
+                Track::Comm => comm_by.entry(e.rank).or_default().push(TEv::from(e)),
+                Track::Fault => {}
+            }
+        }
         let mut top: BTreeMap<usize, Vec<TEv>> = BTreeMap::new();
         let mut comm: BTreeMap<usize, Vec<TEv>> = BTreeMap::new();
         for &r in &ranks {
-            let compute: Vec<TEv> = trace
-                .track_events(r, Track::Compute)
-                .into_iter()
-                .map(TEv::from)
-                .collect();
-            let comms: Vec<TEv> = trace
-                .track_events(r, Track::Comm)
-                .into_iter()
-                .map(TEv::from)
-                .collect();
+            let mut compute = compute_by.remove(&r).unwrap_or_default();
+            let mut comms = comm_by.remove(&r).unwrap_or_default();
+            // Bucketing preserves file order; the nesting check below
+            // needs strict ts order regardless of how the trace was
+            // assembled.
+            compute.sort_by_key(|e| (e.ts, e.end));
+            comms.sort_by_key(|e| (e.ts, e.end));
             // A comm span is nested if the last compute span starting at
             // or before it also ends at or after it (compute tracks are
             // serial, so at most one candidate).
@@ -595,26 +605,53 @@ pub fn imbalance(trace: &Trace) -> Vec<ImbalanceRow> {
     if ranks.is_empty() {
         return Vec::new();
     }
-    let mut per: BTreeMap<(usize, &'static str), BTreeMap<usize, f64>> = BTreeMap::new();
-    for e in &trace.events {
-        if e.track == Track::Compute {
-            *per.entry((e.level, e.op.name()))
-                .or_default()
-                .entry(e.rank)
-                .or_insert(0.0) += e.dur_ns as f64 / 1e9;
-        }
+    let rows = trace
+        .events
+        .iter()
+        .filter(|e| e.track == Track::Compute)
+        .map(|e| {
+            (
+                e.level,
+                e.op.name().to_string(),
+                e.rank,
+                e.dur_ns as f64 / 1e9,
+            )
+        });
+    imbalance_from_seconds(rows, ranks.len())
+}
+
+/// [`imbalance`] over pre-aggregated `(level, op, rank, seconds)` rows —
+/// for producers (e.g. the `gmg-scale` simulator) that track per-rank
+/// op seconds directly and would otherwise have to materialize a
+/// multi-million-event `Trace` just to compute a max/mean table. Rows
+/// for the same `(level, op, rank)` accumulate; `n_ranks` is the world
+/// size the mean is taken over (absent ranks count as zero, matching
+/// the trace-based path).
+pub fn imbalance_from_seconds(
+    rows: impl IntoIterator<Item = (usize, String, usize, f64)>,
+    n_ranks: usize,
+) -> Vec<ImbalanceRow> {
+    if n_ranks == 0 {
+        return Vec::new();
+    }
+    let mut per: BTreeMap<(usize, String), BTreeMap<usize, f64>> = BTreeMap::new();
+    for (level, op, rank, seconds) in rows {
+        *per.entry((level, op))
+            .or_default()
+            .entry(rank)
+            .or_insert(0.0) += seconds;
     }
     per.into_iter()
         .map(|((level, op), by_rank)| {
             let total: f64 = by_rank.values().sum();
-            let mean = total / ranks.len() as f64;
+            let mean = total / n_ranks as f64;
             let (&max_rank, &max_s) = by_rank
                 .iter()
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
                 .unwrap();
             ImbalanceRow {
                 level,
-                op: op.to_string(),
+                op,
                 mean_s: mean,
                 max_s,
                 factor: if mean > 0.0 { max_s / mean } else { 1.0 },
@@ -1387,6 +1424,40 @@ mod tests {
         let r = &rows[0];
         assert_eq!((r.level, r.op.as_str(), r.max_rank), (0, "smooth", 1));
         assert!((r.factor - 1.5).abs() < 1e-9); // 30 / mean(20)
+    }
+
+    #[test]
+    fn imbalance_from_seconds_matches_trace_path() {
+        let trace = mk_trace(vec![
+            ev(0, 0, "smooth", Track::Compute, 0, 10),
+            ev(1, 0, "smooth", Track::Compute, 0, 30),
+            ev(0, 1, "applyOp", Track::Compute, 40, 4),
+        ]);
+        let via_trace = imbalance(&trace);
+        // `ev` takes milliseconds; mirror the same durations in seconds.
+        let rows = vec![
+            (0usize, "smooth".to_string(), 0usize, 10e-3),
+            (0, "smooth".to_string(), 1, 30e-3),
+            (1, "applyOp".to_string(), 0, 4e-3),
+        ];
+        let via_agg = imbalance_from_seconds(rows, 2);
+        assert_eq!(via_trace.len(), via_agg.len());
+        for (a, b) in via_trace.iter().zip(&via_agg) {
+            assert_eq!((a.level, &a.op, a.max_rank), (b.level, &b.op, b.max_rank));
+            assert!((a.mean_s - b.mean_s).abs() < 1e-15);
+            assert!((a.factor - b.factor).abs() < 1e-12);
+        }
+        // Duplicate (level, op, rank) rows accumulate.
+        let dup = imbalance_from_seconds(
+            vec![
+                (0usize, "smooth".to_string(), 1usize, 10e-9),
+                (0, "smooth".to_string(), 1, 20e-9),
+                (0, "smooth".to_string(), 0, 10e-9),
+            ],
+            2,
+        );
+        assert!((dup[0].max_s - 30e-9).abs() < 1e-15);
+        assert_eq!(dup[0].max_rank, 1);
     }
 
     #[test]

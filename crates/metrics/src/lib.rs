@@ -30,7 +30,7 @@ pub mod prom;
 pub mod registry;
 pub mod snapshot;
 
-pub use analysis::{Analysis, MachineEnvelope, MessageEdge};
+pub use analysis::{imbalance_from_seconds, Analysis, MachineEnvelope, MessageEdge};
 pub use hist::Histogram;
 pub use registry::{disable, enable, enabled, Counter, Gauge, HistogramHandle, Key, Registry};
 pub use snapshot::{Snapshot, SnapshotEntry, Value};

@@ -1,0 +1,39 @@
+//! # gmg-scale — the 10k-rank scaling observatory
+//!
+//! A discrete-event simulator that executes the *real* V-cycle schedule
+//! (per-level smooths, halo exchanges, restriction/prolongation, the
+//! bottom-solve allreduce) for tens of thousands of simulated ranks
+//! against the [`gmg_machine`] cost model extended with a fabric
+//! [`ContentionModel`](gmg_machine::ContentionModel) — link sharing,
+//! switch radix, allreduce tree depth, per-NIC message-rate limits.
+//!
+//! The point is not a new analysis stack: the simulator emits its
+//! results through the **existing pipes**. Ranks inside a configurable
+//! window record synthetic flight-recorder logs
+//! ([`gmg_flight::SynthLog`]) with exact `(rank, msg_seq)` send↔recv
+//! identity, so the output feeds the production wait-state classifier,
+//! `gmg_metrics::analysis::critical_path_with_edges`, per-level
+//! imbalance, and Perfetto export with flow arrows — the same tooling
+//! that debugs 8-rank real runs debugs 10k-rank simulated ones.
+//!
+//! Module map:
+//!
+//! - [`topology`] — near-cubic periodic rank grids and rank↔node maps
+//!   at arbitrary rank counts.
+//! - [`sim`] — the per-phase virtual-clock simulator: deterministic
+//!   jitter and loss, communication-avoiding ghost margins, CPU
+//!   offload of coarse levels, planted per-level slowdown injection,
+//!   and analytic per-level predictions for attribution.
+//! - [`fit`] — least-squares fit of the alpha–beta+contention model
+//!   over a scaling sweep, with relative-RMS misfit for gating.
+//!
+//! The `gmg-bench` `scaling` binary drives weak/strong sweeps over
+//! this crate and renders the gated scaling report.
+
+pub mod fit;
+pub mod sim;
+pub mod topology;
+
+pub use fit::{fit_scaling_model, ScalingFit, SweepPoint};
+pub use sim::{simulate, LevelDecomp, RecordMode, ScaleConfig, ScaleResult, ALLREDUCE_TAG};
+pub use topology::{node_of, nodes_for, RankGrid, FACE_DIRS};

@@ -500,6 +500,21 @@ impl Trace {
             None => 0.0,
         }
     }
+
+    /// The sub-trace of events on ranks in `[lo, hi)` — windowed export
+    /// for captures too wide to render whole (a 10k-rank simulated world
+    /// exports a browsable Perfetto window, not 10k process tracks).
+    /// Event order and timestamps are preserved.
+    pub fn rank_window(&self, lo: usize, hi: usize) -> Trace {
+        Trace {
+            events: self
+                .events
+                .iter()
+                .filter(|e| (lo..hi).contains(&e.rank))
+                .cloned()
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -723,5 +738,30 @@ mod tests {
         };
         assert_eq!(trace.time_bounds(), Some((100, 500)));
         assert!((trace.wall_seconds() - 400e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rank_window_selects_half_open_range() {
+        let mk = |rank, ts_ns| TraceEvent {
+            rank,
+            level: 0,
+            op: intern("a"),
+            track: Track::Compute,
+            ts_ns,
+            dur_ns: 10,
+            counters: Counters::default(),
+            peer: None,
+            tag: None,
+        };
+        let trace = Trace {
+            events: vec![mk(0, 100), mk(3, 50), mk(4, 10), mk(7, 0), mk(3, 200)],
+        };
+        let w = trace.rank_window(3, 5);
+        assert_eq!(w.ranks(), vec![3, 4]);
+        assert_eq!(w.events.len(), 3);
+        // Order and timestamps untouched.
+        assert_eq!(w.events[0].ts_ns, 50);
+        assert_eq!(w.events[2].ts_ns, 200);
+        assert!(trace.rank_window(8, 20).events.is_empty());
     }
 }
